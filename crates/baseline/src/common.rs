@@ -1,0 +1,237 @@
+//! Shared scenario setup for the baseline MACs.
+//!
+//! Every baseline runs under *exactly the same physical model* as the
+//! Shepard scheme: the same placement, gain matrix, SINR tracker and
+//! reception criterion — only the channel-access rule changes. That is
+//! the point of experiment E3: at loads where ALOHA/CSMA/MACA lose
+//! packets to collisions, the schedule-based scheme loses none.
+
+use parn_core::power::PowerPolicy;
+use parn_core::Metrics;
+use parn_phys::placement::{density, Placement};
+use parn_phys::propagation::FreeSpace;
+use parn_phys::sinr::SinrTracker;
+use parn_phys::{Gain, GainMatrix, PowerW, ReceptionCriterion, StationId};
+use parn_sim::{Duration, Rng, Time};
+use std::sync::Arc;
+
+/// Which baseline MAC to run.
+#[derive(Clone, Debug)]
+pub enum MacKind {
+    /// Transmit the moment a packet is ready (classic ALOHA).
+    PureAloha,
+    /// Transmit at the next global slot boundary (slotted ALOHA — note
+    /// this baseline *assumes* the network-wide synchronization the paper
+    /// argues is impractical at scale).
+    SlottedAloha {
+        /// Global slot length (= packet air time).
+        slot: Duration,
+    },
+    /// Carrier sense: defer while total sensed power exceeds a threshold,
+    /// then transmit.
+    Csma {
+        /// Sensed-power level above which the channel is "busy".
+        sense_threshold: PowerW,
+    },
+    /// MACA-style RTS/CTS handshake with NAV deferral on overheard
+    /// control packets.
+    Maca {
+        /// Air time of RTS/CTS control packets.
+        ctrl_airtime: Duration,
+    },
+}
+
+/// Scenario parameters for a baseline run.
+#[derive(Clone, Debug)]
+pub struct BaselineConfig {
+    /// Root seed.
+    pub seed: u64,
+    /// Placement model.
+    pub placement: Placement,
+    /// Reception criterion (same as the scheme's).
+    pub criterion: ReceptionCriterion,
+    /// Power policy.
+    pub power: PowerPolicy,
+    /// Thermal + external noise floor.
+    pub noise: PowerW,
+    /// Self-interference gain.
+    pub self_gain: f64,
+    /// Despreading channels per receiver.
+    pub despreaders: usize,
+    /// Successive-interference-cancellation depth at receivers (0 = off;
+    /// §3.4 footnote 2's multiuser-detection upgrade).
+    pub sic_depth: usize,
+    /// Usable-hop reach factor (× characteristic distance).
+    pub reach_factor: f64,
+    /// Packet air time (kept equal to the scheme's quarter-slot).
+    pub airtime: Duration,
+    /// Poisson arrivals per station per second; destinations are random
+    /// in-range neighbours (single-hop, the regime where all MACs are
+    /// comparable).
+    pub arrivals_per_station_per_sec: f64,
+    /// Mean random backoff after a failed attempt.
+    pub mean_backoff: Duration,
+    /// Retransmission limit.
+    pub max_retries: u32,
+    /// The MAC under test.
+    pub mac: MacKind,
+    /// Run length.
+    pub run_for: Duration,
+    /// Warmup excluded from statistics.
+    pub warmup: Duration,
+}
+
+impl BaselineConfig {
+    /// A baseline scenario matched to [`parn_core::NetConfig::paper_default`]:
+    /// same density, criterion, power control and packet size.
+    pub fn matched(n: usize, seed: u64, mac: MacKind) -> BaselineConfig {
+        let rho = 0.01;
+        let radius = (n as f64 / (std::f64::consts::PI * rho)).sqrt();
+        BaselineConfig {
+            seed,
+            placement: Placement::UniformDisk { n, radius },
+            criterion: ReceptionCriterion::with_5db_margin(1e5, 1e7),
+            power: PowerPolicy::Controlled {
+                target: PowerW(1e-6),
+                max: PowerW(1.0),
+            },
+            noise: PowerW(1e-13),
+            self_gain: 1e12,
+            despreaders: 8,
+            sic_depth: 0,
+            reach_factor: 2.0,
+            airtime: Duration::from_micros(2500),
+            arrivals_per_station_per_sec: 2.0,
+            mean_backoff: Duration::from_millis(20),
+            max_retries: 10,
+            mac,
+            run_for: Duration::from_secs(20),
+            warmup: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The assembled physical scenario shared by all baseline MACs.
+pub struct Scenario {
+    /// Scenario config.
+    pub cfg: BaselineConfig,
+    /// Pairwise gains.
+    pub gains: Arc<GainMatrix>,
+    /// The interference bookkeeper.
+    pub tracker: SinrTracker,
+    /// In-range neighbours of each station.
+    pub neighbors: Vec<Vec<StationId>>,
+    /// Reception SINR threshold.
+    pub threshold: f64,
+    /// Traffic randomness.
+    pub rng: Rng,
+    /// Metrics under construction.
+    pub metrics: Metrics,
+    /// Warmup boundary.
+    pub warm_at: Time,
+    /// Run end.
+    pub end: Time,
+}
+
+impl Scenario {
+    /// Build the physical world for a config.
+    pub fn new(cfg: BaselineConfig) -> Scenario {
+        let root = Rng::new(cfg.seed);
+        let mut rng_place = root.substream("placement");
+        let rng = root.substream("traffic");
+        let positions = cfg.placement.generate(&mut rng_place);
+        let n = positions.len();
+        assert!(n >= 2, "need at least two stations");
+        let gains = Arc::new(GainMatrix::build(&positions, &FreeSpace::unit()));
+        let region = cfg.placement.region();
+        let rho = density(&positions, &region);
+        let reach = cfg.reach_factor / rho.sqrt();
+        let usable = Gain(1.0 / (reach * reach));
+        let neighbors: Vec<Vec<StationId>> =
+            (0..n).map(|s| gains.hearable_by(s, usable)).collect();
+        let tracker =
+            SinrTracker::new(Arc::clone(&gains), cfg.noise, cfg.self_gain).with_sic(cfg.sic_depth);
+        let threshold = cfg.criterion.threshold();
+        let warm_at = Time::ZERO + cfg.warmup;
+        let end = Time::ZERO + cfg.run_for;
+        let mut metrics = Metrics::new(n);
+        metrics.measured_span = cfg.run_for.saturating_sub(cfg.warmup);
+        Scenario {
+            cfg,
+            gains,
+            tracker,
+            neighbors,
+            threshold,
+            rng,
+            metrics,
+            warm_at,
+            end,
+        }
+    }
+
+    /// Whether a time falls in the measured region.
+    pub fn measured(&self, t: Time) -> bool {
+        t >= self.warm_at
+    }
+
+    /// Exponential interarrival for the configured rate.
+    pub fn next_interarrival(&mut self) -> Duration {
+        let mean = 1.0 / self.cfg.arrivals_per_station_per_sec;
+        Duration::from_secs_f64(self.rng.exp(mean))
+    }
+
+    /// Exponential random backoff.
+    pub fn backoff(&mut self) -> Duration {
+        Duration::from_secs_f64(self.rng.exp(self.cfg.mean_backoff.as_secs_f64()))
+    }
+
+    /// Random in-range neighbour of `s`, if any.
+    pub fn random_neighbor(&mut self, s: StationId) -> Option<StationId> {
+        if self.neighbors[s].is_empty() {
+            None
+        } else {
+            Some(*self.rng.choose(&self.neighbors[s]))
+        }
+    }
+
+    /// Transmit power toward a neighbour under the configured policy.
+    pub fn tx_power(&self, s: StationId, nh: StationId) -> PowerW {
+        self.cfg.power.tx_power(self.gains.gain(nh, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_scenario_builds() {
+        let cfg = BaselineConfig::matched(30, 5, MacKind::PureAloha);
+        let sc = Scenario::new(cfg);
+        assert_eq!(sc.neighbors.len(), 30);
+        // Dense enough that most stations have neighbours.
+        let with_nb = sc.neighbors.iter().filter(|v| !v.is_empty()).count();
+        assert!(with_nb > 25, "only {with_nb} stations have neighbours");
+        assert!(sc.threshold > 0.0 && sc.threshold < 1.0);
+    }
+
+    #[test]
+    fn power_matches_policy() {
+        let cfg = BaselineConfig::matched(10, 6, MacKind::PureAloha);
+        let sc = Scenario::new(cfg);
+        // Find a pair of neighbours and confirm delivered power is target.
+        let s = (0..10).find(|&s| !sc.neighbors[s].is_empty()).unwrap();
+        let nh = sc.neighbors[s][0];
+        let p = sc.tx_power(s, nh);
+        let delivered = sc.gains.gain(nh, s).apply(p);
+        assert!((delivered.value() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_gate() {
+        let cfg = BaselineConfig::matched(5, 1, MacKind::PureAloha);
+        let sc = Scenario::new(cfg);
+        assert!(!sc.measured(Time::from_secs(1)));
+        assert!(sc.measured(Time::from_secs(3)));
+    }
+}

@@ -1,0 +1,326 @@
+//! CSMA baseline: carrier sense multiple access.
+//!
+//! Before transmitting, a station measures the total received power
+//! ([`SinrTracker::sensed_power`](parn_phys::sinr::SinrTracker::sensed_power));
+//! if it exceeds a threshold the channel is "busy" and the station backs
+//! off. This captures CSMA's two classic failure modes under physical
+//! interference — *hidden terminals* (the interferer is inaudible at the
+//! sender but loud at the receiver) and *exposed terminals* (deferring to
+//! a transmission that would not have harmed the receiver) — without any
+//! graph-model shortcuts.
+
+use crate::common::{MacKind, Scenario};
+use parn_core::packet::LossCause;
+use parn_core::{classify, Metrics, Packet};
+use parn_phys::sinr::{RxId, TxId};
+use parn_phys::{PowerW, StationId};
+use parn_sim::{EventQueue, Model, Time};
+use std::collections::VecDeque;
+
+/// Events of the CSMA simulator.
+#[derive(Debug)]
+pub enum Event {
+    /// New traffic.
+    Arrival {
+        /// Source station.
+        station: StationId,
+    },
+    /// Attempt (or re-attempt) transmission after sensing.
+    Ready {
+        /// The station.
+        station: StationId,
+    },
+    /// A transmission finishes.
+    TxEnd {
+        /// Sender.
+        station: StationId,
+        /// PHY transmission handle.
+        tx: TxId,
+        /// PHY reception handle at the addressed neighbour.
+        rx: Option<RxId>,
+        /// Addressed neighbour.
+        next_hop: StationId,
+        /// The packet.
+        packet: Packet,
+        /// Attempts so far (including this one).
+        attempts: u32,
+    },
+}
+
+struct CsmaStation {
+    queue: VecDeque<(StationId, Packet, u32)>,
+    transmitting: bool,
+    ready_pending: bool,
+}
+
+/// The CSMA simulator.
+pub struct Csma {
+    sc: Scenario,
+    stations: Vec<CsmaStation>,
+    rx_in_use: Vec<usize>,
+    sense_threshold: PowerW,
+    next_id: u64,
+    dropped: u64,
+    /// Channel-busy deferrals observed (exposed-terminal pressure gauge).
+    pub deferrals: u64,
+}
+
+impl Csma {
+    /// Build from a scenario whose `mac` is `Csma`.
+    pub fn new(sc: Scenario) -> Csma {
+        let sense_threshold = match sc.cfg.mac {
+            MacKind::Csma { sense_threshold } => sense_threshold,
+            ref other => panic!("Csma::new with non-CSMA mac {other:?}"),
+        };
+        let n = sc.neighbors.len();
+        Csma {
+            sc,
+            stations: (0..n)
+                .map(|_| CsmaStation {
+                    queue: VecDeque::new(),
+                    transmitting: false,
+                    ready_pending: false,
+                })
+                .collect(),
+            rx_in_use: vec![0; n],
+            sense_threshold,
+            next_id: 0,
+            dropped: 0,
+            deferrals: 0,
+        }
+    }
+
+    /// Run a scenario to completion.
+    pub fn run(sc: Scenario) -> Metrics {
+        let mut sim = Csma::new(sc);
+        let mut queue = EventQueue::new();
+        sim.prime(&mut queue);
+        let end = sim.sc.end;
+        parn_sim::run(&mut sim, &mut queue, end);
+        sim.finish()
+    }
+
+    /// Seed initial arrivals.
+    pub fn prime(&mut self, queue: &mut EventQueue<Event>) {
+        for s in 0..self.stations.len() {
+            if !self.sc.neighbors[s].is_empty()
+                && self.sc.cfg.arrivals_per_station_per_sec > 0.0
+            {
+                let dt = self.sc.next_interarrival();
+                queue.schedule(Time::ZERO + dt, Event::Arrival { station: s });
+            }
+        }
+    }
+
+    /// Finalize metrics.
+    pub fn finish(mut self) -> Metrics {
+        let settled = self.sc.metrics.delivered + self.dropped;
+        self.sc.metrics.in_flight_at_end =
+            self.sc.metrics.generated.saturating_sub(settled);
+        self.sc.metrics
+    }
+
+    fn schedule_ready(&mut self, s: StationId, at: Time, queue: &mut EventQueue<Event>) {
+        if !self.stations[s].ready_pending {
+            self.stations[s].ready_pending = true;
+            queue.schedule(at, Event::Ready { station: s });
+        }
+    }
+
+    fn on_ready(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
+        self.stations[s].ready_pending = false;
+        if self.stations[s].transmitting || self.stations[s].queue.is_empty() {
+            return;
+        }
+        // Carrier sense.
+        if self.sc.tracker.sensed_power(s) > self.sense_threshold {
+            self.deferrals += 1;
+            let backoff = self.sc.backoff();
+            self.schedule_ready(s, now + backoff, queue);
+            return;
+        }
+        let (nh, packet, attempts) = self.stations[s].queue.pop_front().expect("queue");
+        let p_tx = self.sc.tx_power(s, nh);
+        let tx = self.sc.tracker.start_transmission(s, p_tx, Some(nh));
+        self.stations[s].transmitting = true;
+        let rx = if self.rx_in_use[nh] < self.sc.cfg.despreaders {
+            self.rx_in_use[nh] += 1;
+            Some(self.sc.tracker.begin_reception(nh, tx, self.sc.threshold))
+        } else {
+            None
+        };
+        if self.sc.measured(now) {
+            self.sc.metrics.tx_airtime[s] += self.sc.cfg.airtime.as_secs_f64();
+            let wait = now.since(packet.enqueued).ticks() as f64
+                / self.sc.cfg.airtime.ticks() as f64;
+            self.sc.metrics.hop_wait_slots.add(wait.min(99.0));
+        }
+        queue.schedule(
+            now + self.sc.cfg.airtime,
+            Event::TxEnd {
+                station: s,
+                tx,
+                rx,
+                next_hop: nh,
+                packet,
+                attempts: attempts + 1,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_tx_end(
+        &mut self,
+        s: StationId,
+        tx: TxId,
+        rx: Option<RxId>,
+        nh: StationId,
+        packet: Packet,
+        attempts: u32,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let report = rx.map(|r| {
+            self.rx_in_use[nh] -= 1;
+            self.sc.tracker.complete_reception(r)
+        });
+        self.sc.tracker.end_transmission(tx);
+        self.stations[s].transmitting = false;
+        let measured = self.sc.measured(packet.created);
+        if measured {
+            self.sc.metrics.hop_attempts += 1;
+        }
+        let success = report.as_ref().map(|r| r.success).unwrap_or(false);
+        if success {
+            if measured {
+                self.sc.metrics.hop_successes += 1;
+                self.sc.metrics.delivered += 1;
+                self.sc.metrics.e2e_delay.add(packet.age(now).as_secs_f64());
+                self.sc.metrics.hops_per_packet.add(1.0);
+                self.sc.metrics.bits_delivered +=
+                    self.sc.cfg.criterion.rate_bps * self.sc.cfg.airtime.as_secs_f64();
+            }
+        } else {
+            if measured {
+                match &report {
+                    Some(rep) => {
+                        let (_, cause) = classify(rep);
+                        self.sc.metrics.record_loss(cause);
+                    }
+                    None => self
+                        .sc
+                        .metrics
+                        .record_loss(LossCause::DespreaderExhausted),
+                }
+            }
+            if attempts <= self.sc.cfg.max_retries {
+                if measured {
+                    self.sc.metrics.retransmissions += 1;
+                }
+                self.stations[s].queue.push_front((nh, packet, attempts));
+                let backoff = self.sc.backoff();
+                self.schedule_ready(s, now + backoff, queue);
+            } else if measured {
+                self.dropped += 1;
+            }
+        }
+        if !self.stations[s].queue.is_empty() {
+            self.schedule_ready(s, now, queue);
+        }
+    }
+
+    fn on_arrival(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
+        let dt = self.sc.next_interarrival();
+        let next = now + dt;
+        if next <= self.sc.end {
+            queue.schedule(next, Event::Arrival { station: s });
+        }
+        let Some(nh) = self.sc.random_neighbor(s) else {
+            return;
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let packet = Packet::new(id, s, nh, now);
+        if self.sc.measured(now) {
+            self.sc.metrics.generated += 1;
+        }
+        self.stations[s].queue.push_back((nh, packet, 0));
+        self.schedule_ready(s, now, queue);
+    }
+}
+
+impl Model for Csma {
+    type Event = Event;
+    fn handle(&mut self, now: Time, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::Arrival { station } => self.on_arrival(station, now, queue),
+            Event::Ready { station } => self.on_ready(station, now, queue),
+            Event::TxEnd {
+                station,
+                tx,
+                rx,
+                next_hop,
+                packet,
+                attempts,
+            } => self.on_tx_end(station, tx, rx, next_hop, packet, attempts, now, queue),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::BaselineConfig;
+    use parn_sim::Duration;
+
+    fn cfg(rate: f64, seed: u64, sense: f64) -> BaselineConfig {
+        let mut c = BaselineConfig::matched(
+            30,
+            seed,
+            MacKind::Csma {
+                sense_threshold: PowerW(sense),
+            },
+        );
+        c.arrivals_per_station_per_sec = rate;
+        c.run_for = Duration::from_secs(8);
+        c.warmup = Duration::from_secs(1);
+        c
+    }
+
+    #[test]
+    fn light_load_delivers() {
+        let m = Csma::run(Scenario::new(cfg(0.5, 1, 1e-9)));
+        assert!(m.generated > 20);
+        assert!(m.delivery_rate() > 0.85, "{}", m.summary());
+    }
+
+    #[test]
+    fn sensing_defers_under_load() {
+        let mut sim = Csma::new(Scenario::new(cfg(30.0, 2, 1e-10)));
+        let mut q = EventQueue::new();
+        sim.prime(&mut q);
+        let end = sim.sc.end;
+        parn_sim::run(&mut sim, &mut q, end);
+        assert!(sim.deferrals > 0, "no deferrals at heavy load");
+    }
+
+    #[test]
+    fn hidden_terminals_still_collide() {
+        // With a *lenient* sense threshold the sender rarely defers and
+        // concurrent neighbours can still destroy receptions.
+        let m = Csma::run(Scenario::new(cfg(40.0, 3, 1e-3)));
+        assert!(
+            m.collision_losses() > 0,
+            "expected hidden-terminal collisions: {}",
+            m.summary()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Csma::run(Scenario::new(cfg(5.0, 7, 1e-9)));
+        let b = Csma::run(Scenario::new(cfg(5.0, 7, 1e-9)));
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.total_losses(), b.total_losses());
+    }
+}

@@ -1,0 +1,22 @@
+//! `parn-baseline`: the channel-access schemes the paper positions itself
+//! against (§2), implemented under the *same* physical interference model
+//! as the Shepard scheme.
+//!
+//! * [`aloha`] — pure and slotted ALOHA;
+//! * [`csma`] — carrier sense with power-threshold deferral;
+//! * [`maca`] — MACA-style RTS/CTS with NAV deferral.
+//!
+//! All three lose packets to collisions under load; the scheme does not.
+//! That contrast is experiment E3.
+
+#![warn(missing_docs)]
+
+pub mod aloha;
+pub mod common;
+pub mod csma;
+pub mod maca;
+
+pub use aloha::Aloha;
+pub use common::{BaselineConfig, MacKind, Scenario};
+pub use csma::Csma;
+pub use maca::Maca;

@@ -1,0 +1,657 @@
+//! MACA baseline: RTS/CTS handshake with NAV deferral.
+//!
+//! The MACA–MACAW–FAMA line (§2, refs \[9]/\[4]/\[7]/\[6]) replaces carrier sense
+//! with a control dialogue: a short Request-To-Send, a Clear-To-Send from
+//! the receiver, then data. Overhearers defer (set a NAV) for the expected
+//! remainder of the dialogue. Under the physical model the handshake's
+//! weaknesses are visible: RTS packets themselves collide, CTS packets can
+//! be lost to interference, and the per-packet control exchanges consume
+//! air time the Shepard scheme never spends ("no per-packet transmissions
+//! other than the single transmission used to convey the packet").
+
+use crate::common::{MacKind, Scenario};
+use parn_core::packet::LossCause;
+use parn_core::{classify, Metrics, Packet};
+use parn_phys::sinr::{RxId, TxId};
+use parn_phys::StationId;
+use parn_sim::{Duration, EventQueue, Model, Time};
+use std::collections::VecDeque;
+
+/// Which control packet a `CtrlEnd` closes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CtrlKind {
+    /// Request to send.
+    Rts,
+    /// Clear to send.
+    Cts,
+}
+
+/// Events of the MACA simulator.
+#[derive(Debug)]
+pub enum Event {
+    /// New traffic.
+    Arrival {
+        /// Source station.
+        station: StationId,
+    },
+    /// Attempt to start a handshake.
+    Ready {
+        /// The station.
+        station: StationId,
+    },
+    /// A control packet finishes.
+    CtrlEnd {
+        /// RTS or CTS.
+        kind: CtrlKind,
+        /// Transmitter of the control packet.
+        from: StationId,
+        /// Addressed station.
+        to: StationId,
+        /// PHY handle.
+        tx: TxId,
+        /// Receptions in progress at the addressed station and overhearers.
+        rxs: Vec<(StationId, RxId)>,
+        /// Handshake sequence this control packet belongs to.
+        seq: u64,
+    },
+    /// The receiver answers an RTS.
+    SendCts {
+        /// The receiver (CTS transmitter).
+        station: StationId,
+        /// The handshake initiator.
+        to: StationId,
+        /// Handshake sequence.
+        seq: u64,
+    },
+    /// The initiator starts the data transmission.
+    DataStart {
+        /// The initiator.
+        station: StationId,
+        /// Handshake sequence.
+        seq: u64,
+    },
+    /// A data transmission finishes.
+    DataEnd {
+        /// Sender.
+        station: StationId,
+        /// PHY handle.
+        tx: TxId,
+        /// Reception at the addressed neighbour.
+        rx: Option<RxId>,
+        /// Addressed neighbour.
+        next_hop: StationId,
+        /// The packet.
+        packet: Packet,
+        /// Attempts so far.
+        attempts: u32,
+    },
+    /// CTS never arrived.
+    CtsTimeout {
+        /// The initiator.
+        station: StationId,
+        /// Handshake sequence.
+        seq: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Handshake {
+    nh: StationId,
+    packet: Packet,
+    attempts: u32,
+    seq: u64,
+    cts_received: bool,
+    data_started: bool,
+}
+
+struct MacaStation {
+    queue: VecDeque<(StationId, Packet, u32)>,
+    transmitting: bool,
+    handshake: Option<Handshake>,
+    nav_until: Time,
+    ready_pending: bool,
+}
+
+/// The MACA simulator.
+pub struct Maca {
+    sc: Scenario,
+    stations: Vec<MacaStation>,
+    rx_in_use: Vec<usize>,
+    ctrl: Duration,
+    turnaround: Duration,
+    next_id: u64,
+    next_seq: u64,
+    dropped: u64,
+    /// Completed RTS/CTS dialogues (diagnostics).
+    pub handshakes_completed: u64,
+    /// Handshakes abandoned on CTS timeout (diagnostics).
+    pub handshakes_timed_out: u64,
+}
+
+impl Maca {
+    /// Receiver turnaround between dialogue phases.
+    pub const TURNAROUND: Duration = Duration(100);
+
+    /// Build from a scenario whose `mac` is `Maca`.
+    pub fn new(sc: Scenario) -> Maca {
+        let ctrl = match sc.cfg.mac {
+            MacKind::Maca { ctrl_airtime } => ctrl_airtime,
+            ref other => panic!("Maca::new with non-MACA mac {other:?}"),
+        };
+        let n = sc.neighbors.len();
+        Maca {
+            sc,
+            stations: (0..n)
+                .map(|_| MacaStation {
+                    queue: VecDeque::new(),
+                    transmitting: false,
+                    handshake: None,
+                    nav_until: Time::ZERO,
+                    ready_pending: false,
+                })
+                .collect(),
+            rx_in_use: vec![0; n],
+            ctrl,
+            turnaround: Self::TURNAROUND,
+            next_id: 0,
+            next_seq: 0,
+            dropped: 0,
+            handshakes_completed: 0,
+            handshakes_timed_out: 0,
+        }
+    }
+
+    /// Run a scenario to completion.
+    pub fn run(sc: Scenario) -> Metrics {
+        let mut sim = Maca::new(sc);
+        let mut queue = EventQueue::new();
+        sim.prime(&mut queue);
+        let end = sim.sc.end;
+        parn_sim::run(&mut sim, &mut queue, end);
+        sim.finish()
+    }
+
+    /// Seed initial arrivals.
+    pub fn prime(&mut self, queue: &mut EventQueue<Event>) {
+        for s in 0..self.stations.len() {
+            if !self.sc.neighbors[s].is_empty()
+                && self.sc.cfg.arrivals_per_station_per_sec > 0.0
+            {
+                let dt = self.sc.next_interarrival();
+                queue.schedule(Time::ZERO + dt, Event::Arrival { station: s });
+            }
+        }
+    }
+
+    /// Finalize metrics.
+    pub fn finish(mut self) -> Metrics {
+        let settled = self.sc.metrics.delivered + self.dropped;
+        self.sc.metrics.in_flight_at_end =
+            self.sc.metrics.generated.saturating_sub(settled);
+        self.sc.metrics
+    }
+
+    fn cts_timeout_len(&self) -> Duration {
+        self.turnaround + self.ctrl + self.turnaround + Duration(200)
+    }
+
+    fn schedule_ready(&mut self, s: StationId, at: Time, queue: &mut EventQueue<Event>) {
+        if !self.stations[s].ready_pending {
+            self.stations[s].ready_pending = true;
+            queue.schedule(at, Event::Ready { station: s });
+        }
+    }
+
+    /// Start overheard receptions of a control/data packet at every idle
+    /// in-range station (including the addressee).
+    fn open_receptions(&mut self, from: StationId, tx: TxId) -> Vec<(StationId, RxId)> {
+        let hearers = self.sc.neighbors[from].clone();
+        let mut rxs = Vec::new();
+        for h in hearers {
+            if self.stations[h].transmitting {
+                continue; // its own transmitter deafens it anyway
+            }
+            if self.rx_in_use[h] >= self.sc.cfg.despreaders {
+                continue;
+            }
+            self.rx_in_use[h] += 1;
+            let rx = self.sc.tracker.begin_reception(h, tx, self.sc.threshold);
+            rxs.push((h, rx));
+        }
+        rxs
+    }
+
+    fn on_ready(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
+        self.stations[s].ready_pending = false;
+        let st = &self.stations[s];
+        if st.transmitting || st.handshake.is_some() || st.queue.is_empty() {
+            return;
+        }
+        if now < st.nav_until {
+            let at = st.nav_until;
+            self.schedule_ready(s, at, queue);
+            return;
+        }
+        let (nh, packet, attempts) = self.stations[s].queue.pop_front().expect("queue");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stations[s].handshake = Some(Handshake {
+            nh,
+            packet,
+            attempts,
+            seq,
+            cts_received: false,
+            data_started: false,
+        });
+        // RTS on the air.
+        let p_tx = self.sc.tx_power(s, nh);
+        let tx = self.sc.tracker.start_transmission(s, p_tx, Some(nh));
+        self.stations[s].transmitting = true;
+        if self.sc.measured(now) {
+            self.sc.metrics.tx_airtime[s] += self.ctrl.as_secs_f64();
+        }
+        let rxs = self.open_receptions(s, tx);
+        queue.schedule(
+            now + self.ctrl,
+            Event::CtrlEnd {
+                kind: CtrlKind::Rts,
+                from: s,
+                to: nh,
+                tx,
+                rxs,
+                seq,
+            },
+        );
+        queue.schedule(
+            now + self.ctrl + self.cts_timeout_len(),
+            Event::CtsTimeout { station: s, seq },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_ctrl_end(
+        &mut self,
+        kind: CtrlKind,
+        from: StationId,
+        to: StationId,
+        tx: TxId,
+        rxs: Vec<(StationId, RxId)>,
+        seq: u64,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        self.stations[from].transmitting = false;
+        let mut addressed_ok = false;
+        let mut addressed_report = None;
+        let mut overheard_ok: Vec<StationId> = Vec::new();
+        for (h, rx) in rxs {
+            self.rx_in_use[h] -= 1;
+            let rep = self.sc.tracker.complete_reception(rx);
+            if h == to {
+                addressed_ok = rep.success;
+                addressed_report = Some(rep);
+            } else if rep.success {
+                overheard_ok.push(h);
+            }
+        }
+        self.sc.tracker.end_transmission(tx);
+        let data_air = self.sc.cfg.airtime;
+        match kind {
+            CtrlKind::Rts => {
+                // Overhearers defer long enough for the CTS to come back.
+                let nav = now + self.turnaround + self.ctrl + Duration(200);
+                for h in overheard_ok {
+                    let st = &mut self.stations[h];
+                    st.nav_until = st.nav_until.max(nav);
+                }
+                if addressed_ok && !self.stations[to].transmitting {
+                    queue.schedule(
+                        now + self.turnaround,
+                        Event::SendCts {
+                            station: to,
+                            to: from,
+                            seq,
+                        },
+                    );
+                } else if self.sc.measured(now) {
+                    if let Some(rep) = &addressed_report {
+                        if !rep.success {
+                            let (_, cause) = classify(rep);
+                            self.sc.metrics.record_loss(cause);
+                        }
+                    }
+                }
+            }
+            CtrlKind::Cts => {
+                // Overhearers defer through the data transmission.
+                let nav = now + self.turnaround + data_air + Duration(200);
+                for h in overheard_ok {
+                    let st = &mut self.stations[h];
+                    st.nav_until = st.nav_until.max(nav);
+                }
+                // The CTS sender holds off initiating until the data is in.
+                let st = &mut self.stations[from];
+                st.nav_until = st.nav_until.max(nav);
+                if addressed_ok {
+                    let hs_ok = self.stations[to]
+                        .handshake
+                        .as_mut()
+                        .filter(|h| h.seq == seq)
+                        .map(|h| {
+                            h.cts_received = true;
+                        })
+                        .is_some();
+                    if hs_ok {
+                        queue.schedule(
+                            now + self.turnaround,
+                            Event::DataStart { station: to, seq },
+                        );
+                    }
+                } else if self.sc.measured(now) {
+                    if let Some(rep) = &addressed_report {
+                        if !rep.success {
+                            let (_, cause) = classify(rep);
+                            self.sc.metrics.record_loss(cause);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_send_cts(
+        &mut self,
+        s: StationId,
+        to: StationId,
+        seq: u64,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if self.stations[s].transmitting {
+            return; // busy; initiator will time out
+        }
+        let p_tx = self.sc.tx_power(s, to);
+        let tx = self.sc.tracker.start_transmission(s, p_tx, Some(to));
+        self.stations[s].transmitting = true;
+        if self.sc.measured(now) {
+            self.sc.metrics.tx_airtime[s] += self.ctrl.as_secs_f64();
+        }
+        let rxs = self.open_receptions(s, tx);
+        queue.schedule(
+            now + self.ctrl,
+            Event::CtrlEnd {
+                kind: CtrlKind::Cts,
+                from: s,
+                to,
+                tx,
+                rxs,
+                seq,
+            },
+        );
+    }
+
+    fn on_data_start(
+        &mut self,
+        s: StationId,
+        seq: u64,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let Some(hs) = self.stations[s].handshake.as_mut() else {
+            return;
+        };
+        if hs.seq != seq || !hs.cts_received || hs.data_started {
+            return;
+        }
+        hs.data_started = true;
+        let nh = hs.nh;
+        let packet = hs.packet.clone();
+        let attempts = hs.attempts;
+        let p_tx = self.sc.tx_power(s, nh);
+        let tx = self.sc.tracker.start_transmission(s, p_tx, Some(nh));
+        self.stations[s].transmitting = true;
+        let rx = if !self.stations[nh].transmitting
+            && self.rx_in_use[nh] < self.sc.cfg.despreaders
+        {
+            self.rx_in_use[nh] += 1;
+            Some(self.sc.tracker.begin_reception(nh, tx, self.sc.threshold))
+        } else {
+            None
+        };
+        if self.sc.measured(now) {
+            self.sc.metrics.tx_airtime[s] += self.sc.cfg.airtime.as_secs_f64();
+            let wait = now.since(packet.enqueued).ticks() as f64
+                / self.sc.cfg.airtime.ticks() as f64;
+            self.sc.metrics.hop_wait_slots.add(wait.min(99.0));
+        }
+        queue.schedule(
+            now + self.sc.cfg.airtime,
+            Event::DataEnd {
+                station: s,
+                tx,
+                rx,
+                next_hop: nh,
+                packet,
+                attempts: attempts + 1,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_data_end(
+        &mut self,
+        s: StationId,
+        tx: TxId,
+        rx: Option<RxId>,
+        nh: StationId,
+        packet: Packet,
+        attempts: u32,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let report = rx.map(|r| {
+            self.rx_in_use[nh] -= 1;
+            self.sc.tracker.complete_reception(r)
+        });
+        self.sc.tracker.end_transmission(tx);
+        self.stations[s].transmitting = false;
+        self.stations[s].handshake = None;
+        self.handshakes_completed += 1;
+        let measured = self.sc.measured(packet.created);
+        if measured {
+            self.sc.metrics.hop_attempts += 1;
+        }
+        let success = report.as_ref().map(|r| r.success).unwrap_or(false);
+        if success {
+            if measured {
+                self.sc.metrics.hop_successes += 1;
+                self.sc.metrics.delivered += 1;
+                self.sc.metrics.e2e_delay.add(packet.age(now).as_secs_f64());
+                self.sc.metrics.hops_per_packet.add(1.0);
+                self.sc.metrics.bits_delivered +=
+                    self.sc.cfg.criterion.rate_bps * self.sc.cfg.airtime.as_secs_f64();
+            }
+        } else {
+            if measured {
+                match &report {
+                    Some(rep) => {
+                        let (_, cause) = classify(rep);
+                        self.sc.metrics.record_loss(cause);
+                    }
+                    None => self
+                        .sc
+                        .metrics
+                        .record_loss(LossCause::DespreaderExhausted),
+                }
+            }
+            self.requeue_or_drop(s, nh, packet, attempts, now, queue);
+        }
+        if !self.stations[s].queue.is_empty() {
+            self.schedule_ready(s, now, queue);
+        }
+    }
+
+    fn on_cts_timeout(
+        &mut self,
+        s: StationId,
+        seq: u64,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let timed_out = self.stations[s]
+            .handshake
+            .as_ref()
+            .map(|h| h.seq == seq && !h.cts_received)
+            .unwrap_or(false);
+        if !timed_out {
+            return;
+        }
+        let hs = self.stations[s].handshake.take().expect("handshake");
+        self.handshakes_timed_out += 1;
+        self.requeue_or_drop(s, hs.nh, hs.packet, hs.attempts + 1, now, queue);
+        if !self.stations[s].queue.is_empty() {
+            self.schedule_ready(s, now, queue);
+        }
+    }
+
+    fn requeue_or_drop(
+        &mut self,
+        s: StationId,
+        nh: StationId,
+        packet: Packet,
+        attempts: u32,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let measured = self.sc.measured(packet.created);
+        if attempts <= self.sc.cfg.max_retries {
+            if measured {
+                self.sc.metrics.retransmissions += 1;
+            }
+            self.stations[s].queue.push_front((nh, packet, attempts));
+            let backoff = self.sc.backoff();
+            self.schedule_ready(s, now + backoff, queue);
+        } else if measured {
+            self.dropped += 1;
+        }
+    }
+
+    fn on_arrival(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
+        let dt = self.sc.next_interarrival();
+        let next = now + dt;
+        if next <= self.sc.end {
+            queue.schedule(next, Event::Arrival { station: s });
+        }
+        let Some(nh) = self.sc.random_neighbor(s) else {
+            return;
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let packet = Packet::new(id, s, nh, now);
+        if self.sc.measured(now) {
+            self.sc.metrics.generated += 1;
+        }
+        self.stations[s].queue.push_back((nh, packet, 0));
+        self.schedule_ready(s, now, queue);
+    }
+}
+
+impl Model for Maca {
+    type Event = Event;
+    fn handle(&mut self, now: Time, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::Arrival { station } => self.on_arrival(station, now, queue),
+            Event::Ready { station } => self.on_ready(station, now, queue),
+            Event::CtrlEnd {
+                kind,
+                from,
+                to,
+                tx,
+                rxs,
+                seq,
+            } => self.on_ctrl_end(kind, from, to, tx, rxs, seq, now, queue),
+            Event::SendCts { station, to, seq } => {
+                self.on_send_cts(station, to, seq, now, queue)
+            }
+            Event::DataStart { station, seq } => {
+                self.on_data_start(station, seq, now, queue)
+            }
+            Event::DataEnd {
+                station,
+                tx,
+                rx,
+                next_hop,
+                packet,
+                attempts,
+            } => self.on_data_end(station, tx, rx, next_hop, packet, attempts, now, queue),
+            Event::CtsTimeout { station, seq } => {
+                self.on_cts_timeout(station, seq, now, queue)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::BaselineConfig;
+
+    fn cfg(rate: f64, seed: u64) -> BaselineConfig {
+        let mut c = BaselineConfig::matched(
+            30,
+            seed,
+            MacKind::Maca {
+                ctrl_airtime: Duration::from_micros(250),
+            },
+        );
+        c.arrivals_per_station_per_sec = rate;
+        c.run_for = Duration::from_secs(8);
+        c.warmup = Duration::from_secs(1);
+        c
+    }
+
+    #[test]
+    fn light_load_delivers_via_handshake() {
+        let mut sim = Maca::new(Scenario::new(cfg(0.5, 1)));
+        let mut q = EventQueue::new();
+        sim.prime(&mut q);
+        let end = sim.sc.end;
+        parn_sim::run(&mut sim, &mut q, end);
+        assert!(sim.handshakes_completed > 10, "no dialogues completed");
+        let m = sim.finish();
+        assert!(m.delivery_rate() > 0.8, "{}", m.summary());
+    }
+
+    #[test]
+    fn heavy_load_times_out_handshakes() {
+        let mut sim = Maca::new(Scenario::new(cfg(40.0, 2)));
+        let mut q = EventQueue::new();
+        sim.prime(&mut q);
+        let end = sim.sc.end;
+        parn_sim::run(&mut sim, &mut q, end);
+        assert!(
+            sim.handshakes_timed_out > 0,
+            "expected RTS/CTS failures under load"
+        );
+    }
+
+    #[test]
+    fn control_overhead_consumes_airtime() {
+        // Every delivered packet cost at least RTS+CTS+DATA of air time.
+        let m = Maca::run(Scenario::new(cfg(1.0, 3)));
+        let data_air = m.delivered as f64 * 2500e-6;
+        let total_air: f64 = m.tx_airtime.iter().sum();
+        assert!(
+            total_air > data_air * 1.15,
+            "air {total_air} vs data-only {data_air}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Maca::run(Scenario::new(cfg(5.0, 9)));
+        let b = Maca::run(Scenario::new(cfg(5.0, 9)));
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.total_losses(), b.total_losses());
+    }
+}

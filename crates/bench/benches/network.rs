@@ -1,0 +1,58 @@
+//! End-to-end simulator benchmarks: scenario construction cost and
+//! simulated-seconds-per-wall-second for the full scheme and for the
+//! baselines at matched load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parn_baseline::{Aloha, BaselineConfig, MacKind, Scenario};
+use parn_core::{NetConfig, Network};
+use parn_sim::Duration;
+
+fn scenario(n: usize) -> NetConfig {
+    let mut cfg = NetConfig::paper_default(n, 77);
+    cfg.traffic.arrivals_per_station_per_sec = 2.0;
+    cfg.run_for = Duration::from_secs(3);
+    cfg.warmup = Duration::from_secs(1);
+    cfg
+}
+
+fn network_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_build");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| Network::new(scenario(n)));
+        });
+    }
+    group.finish();
+}
+
+fn network_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_run_3s");
+    group.sample_size(10);
+    for &n in &[50usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| Network::run(scenario(n)));
+        });
+    }
+    group.finish();
+}
+
+fn baseline_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_aloha_run_3s");
+    group.sample_size(10);
+    for &n in &[50usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cfg = BaselineConfig::matched(n, 77, MacKind::PureAloha);
+                cfg.arrivals_per_station_per_sec = 2.0;
+                cfg.run_for = Duration::from_secs(3);
+                cfg.warmup = Duration::from_secs(1);
+                Aloha::run(Scenario::new(cfg))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, network_build, network_run, baseline_run);
+criterion_main!(benches);

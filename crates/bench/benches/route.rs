@@ -1,0 +1,62 @@
+//! Micro-benchmarks for minimum-energy routing: single-source Dijkstra,
+//! all-pairs table construction, and the distributed Bellman–Ford
+//! convergence that real stations would run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parn_phys::placement::Placement;
+use parn_phys::propagation::FreeSpace;
+use parn_phys::{Gain, GainMatrix};
+use parn_route::{dijkstra, DistributedBellmanFord, EnergyGraph, RouteTable};
+use parn_sim::Rng;
+
+fn graph(n: usize) -> EnergyGraph {
+    let pts = Placement::UniformDisk {
+        n,
+        radius: (n as f64 / (std::f64::consts::PI * 0.01)).sqrt(),
+    }
+    .generate(&mut Rng::new(3));
+    let gm = GainMatrix::build(&pts, &FreeSpace::unit());
+    // Usable hops out to 2/sqrt(rho) = 200 m at this density.
+    EnergyGraph::from_gains(&gm, Gain(1.0 / (200.0f64 * 200.0)))
+}
+
+fn single_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra_single_source");
+    for &n in &[100usize, 300, 1000] {
+        let g = graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| dijkstra(g, 0));
+        });
+    }
+    group.finish();
+}
+
+fn all_pairs_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_table_centralized");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let g = graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| RouteTable::centralized(g));
+        });
+    }
+    group.finish();
+}
+
+fn distributed_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bellman_ford_converge");
+    group.sample_size(10);
+    for &n in &[50usize, 100] {
+        let g = graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut bf = DistributedBellmanFord::new(g.clone());
+                bf.run_async(&mut Rng::new(9), 10 * n)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_source, all_pairs_table, distributed_convergence);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! E3 — the scheme vs the MACs it replaces, across offered load.
+//!
+//! All five MACs run over identical physics (same placement seed, gain
+//! matrix, reception criterion, power control, packet size) with
+//! single-hop neighbour traffic at increasing offered load. The expected
+//! shape: contention MACs lose packets to collisions once load grows —
+//! pure ALOHA worst, slotted better, CSMA/MACA better still but paying in
+//! deferral delay and control overhead — while the Shepard scheme stays at
+//! exactly zero collision losses at every load, trading only delay.
+
+use parn_baseline::{Aloha, BaselineConfig, Csma, Maca, MacKind, Scenario};
+use parn_core::{DestPolicy, Metrics, NetConfig, Network};
+use parn_phys::PowerW;
+use parn_sim::Duration;
+
+const N: usize = 60;
+const SEED: u64 = 3;
+const SECS: u64 = 12;
+
+fn baseline(mac: MacKind, rate: f64) -> Metrics {
+    let mut c = BaselineConfig::matched(N, SEED, mac);
+    c.arrivals_per_station_per_sec = rate;
+    c.run_for = Duration::from_secs(SECS);
+    c.warmup = Duration::from_secs(2);
+    match c.mac {
+        MacKind::Maca { .. } => Maca::run(Scenario::new(c)),
+        MacKind::Csma { .. } => Csma::run(Scenario::new(c)),
+        _ => Aloha::run(Scenario::new(c)),
+    }
+}
+
+fn shepard(rate: f64) -> Metrics {
+    let mut cfg = NetConfig::paper_default(N, SEED);
+    cfg.traffic.arrivals_per_station_per_sec = rate;
+    cfg.traffic.dest = DestPolicy::Neighbors;
+    cfg.run_for = Duration::from_secs(SECS);
+    cfg.warmup = Duration::from_secs(2);
+    Network::run(cfg)
+}
+
+fn main() {
+    println!("# E3: scheme vs baselines, {N} stations, single-hop neighbour traffic\n");
+    println!(
+        "{:<8} {:<14} {:>10} {:>11} {:>11} {:>12} {:>10}",
+        "load/s", "MAC", "delivered", "hop succ%", "collisions", "goodput b/s", "delay ms"
+    );
+    let mut shepard_collisions_total = 0;
+    let mut aloha_collisions_heavy = 0;
+    for &rate in &[1.0, 5.0, 15.0, 40.0] {
+        let rows: Vec<(&str, Metrics)> = vec![
+            ("shepard", shepard(rate)),
+            ("pure-aloha", baseline(MacKind::PureAloha, rate)),
+            (
+                "slot-aloha",
+                baseline(
+                    MacKind::SlottedAloha {
+                        slot: Duration::from_micros(2500),
+                    },
+                    rate,
+                ),
+            ),
+            (
+                "csma",
+                baseline(
+                    MacKind::Csma {
+                        sense_threshold: PowerW(1e-8),
+                    },
+                    rate,
+                ),
+            ),
+            (
+                "maca",
+                baseline(
+                    MacKind::Maca {
+                        ctrl_airtime: Duration::from_micros(250),
+                    },
+                    rate,
+                ),
+            ),
+        ];
+        for (name, m) in &rows {
+            println!(
+                "{:<8} {:<14} {:>10} {:>10.2}% {:>11} {:>12.0} {:>10.1}",
+                rate,
+                name,
+                m.delivered,
+                100.0 * m.hop_success_rate(),
+                m.collision_losses(),
+                m.goodput_bps(),
+                m.e2e_delay.mean() * 1e3
+            );
+            if *name == "shepard" {
+                shepard_collisions_total += m.collision_losses();
+            }
+            if *name == "pure-aloha" && rate >= 15.0 {
+                aloha_collisions_heavy += m.collision_losses();
+            }
+        }
+        println!();
+    }
+    assert_eq!(
+        shepard_collisions_total, 0,
+        "the scheme lost packets to collisions"
+    );
+    assert!(
+        aloha_collisions_heavy > 0,
+        "ALOHA should collide under heavy load"
+    );
+    println!("E3 reproduced: scheme collision-free at every load; contention MACs are not. OK");
+}

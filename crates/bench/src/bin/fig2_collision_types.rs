@@ -1,0 +1,135 @@
+//! Figure 2 / §5 — the three collision types, demonstrated and eliminated.
+//!
+//! Three constructed micro-topologies each provoke exactly one collision
+//! type under a naive transmit-on-arrival MAC (pure ALOHA), and the
+//! classifier attributes them correctly. The same traffic pattern run
+//! under the Shepard scheme produces zero collisions of any type; a
+//! random 60-station scenario repeats the contrast at scale.
+
+use parn_baseline::{Aloha, BaselineConfig, MacKind, Scenario};
+use parn_core::{classify, DestPolicy, LossCause, NetConfig, Network};
+use parn_phys::propagation::FreeSpace;
+use parn_phys::sinr::SinrTracker;
+use parn_phys::{GainMatrix, Point, PowerW};
+use parn_sim::Duration;
+use std::sync::Arc;
+
+/// Drive the SINR tracker directly through each Figure 2 vignette and
+/// report the classified type.
+fn vignette(name: &str, f: impl FnOnce(&mut SinrTracker) -> Vec<parn_phys::ReceptionReport>) {
+    // A 4-station square, 20 m side: all mutually audible.
+    let pos = vec![
+        Point::new(0.0, 0.0),
+        Point::new(20.0, 0.0),
+        Point::new(0.0, 20.0),
+        Point::new(20.0, 20.0),
+    ];
+    let gm = GainMatrix::build(&pos, &FreeSpace::unit());
+    let mut tracker = SinrTracker::new(Arc::new(gm), PowerW(1e-12), 1e12);
+    let reports = f(&mut tracker);
+    for rep in reports {
+        if rep.success {
+            println!("  {name}: reception {}->{} succeeded", rep.src, rep.rx);
+        } else {
+            let (kinds, cause) = classify(&rep);
+            println!(
+                "  {name}: reception {}->{} FAILED, classified {:?} (kinds t1={} t2={} t3={})",
+                rep.src, rep.rx, cause, kinds.type1, kinds.type2, kinds.type3
+            );
+        }
+    }
+}
+
+fn main() {
+    // Tight threshold so equal-power interference is fatal, as in the
+    // narrowband systems the taxonomy was coined for.
+    let theta = 2.0;
+
+    println!("# Figure 2 vignettes under a naive MAC (threshold {theta}, no spreading)\n");
+
+    vignette("type-1", |t| {
+        // 0 -> 1 while unrelated 2 -> 3 transmits nearby.
+        let a = t.start_transmission(0, PowerW(1.0), Some(1));
+        let rx = t.begin_reception(1, a, theta);
+        let b = t.start_transmission(2, PowerW(1.0), Some(3));
+        let rep = t.complete_reception(rx);
+        t.end_transmission(a);
+        t.end_transmission(b);
+        let (_, cause) = classify(&rep);
+        assert_eq!(cause, LossCause::CollisionType1);
+        vec![rep]
+    });
+
+    vignette("type-2", |t| {
+        // 0 -> 1 and 3 -> 1 simultaneously.
+        let a = t.start_transmission(0, PowerW(1.0), Some(1));
+        let b = t.start_transmission(3, PowerW(1.0), Some(1));
+        let rx_a = t.begin_reception(1, a, theta);
+        let rx_b = t.begin_reception(1, b, theta);
+        let rep_a = t.complete_reception(rx_a);
+        let rep_b = t.complete_reception(rx_b);
+        t.end_transmission(a);
+        t.end_transmission(b);
+        assert_eq!(classify(&rep_a).1, LossCause::CollisionType2);
+        assert_eq!(classify(&rep_b).1, LossCause::CollisionType2);
+        vec![rep_a, rep_b]
+    });
+
+    vignette("type-3", |t| {
+        // 0 -> 1 while 1 itself transmits to 2.
+        let a = t.start_transmission(0, PowerW(1.0), Some(1));
+        let rx = t.begin_reception(1, a, theta);
+        let own = t.start_transmission(1, PowerW(1.0), Some(2));
+        let rep = t.complete_reception(rx);
+        t.end_transmission(a);
+        t.end_transmission(own);
+        assert_eq!(classify(&rep).1, LossCause::CollisionType3);
+        vec![rep]
+    });
+
+    // At-scale contrast: the same offered load through ALOHA and through
+    // the scheme.
+    println!("\n# 60 stations, 8 pkt/s each, single-hop neighbour traffic\n");
+    let n = 60;
+    let rate = 8.0;
+    let seed = 2;
+
+    let mut bc = BaselineConfig::matched(n, seed, MacKind::PureAloha);
+    bc.arrivals_per_station_per_sec = rate;
+    bc.run_for = Duration::from_secs(12);
+    bc.warmup = Duration::from_secs(2);
+    // Narrowband radios (no processing gain): the regime the classic
+    // taxonomy describes — any comparable-power overlap is fatal.
+    bc.criterion = parn_phys::ReceptionCriterion {
+        rate_bps: 1e6,
+        bandwidth_hz: 1e6,
+        margin: 2.0,
+    };
+    let naive = Aloha::run(Scenario::new(bc));
+
+    let mut cfg = NetConfig::paper_default(n, seed);
+    cfg.traffic.arrivals_per_station_per_sec = rate;
+    cfg.traffic.dest = DestPolicy::Neighbors;
+    cfg.run_for = Duration::from_secs(12);
+    cfg.warmup = Duration::from_secs(2);
+    let scheme = Network::run(cfg);
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>11}",
+        "MAC", "type 1", "type 2", "type 3", "total", "hop succ %"
+    );
+    for (name, m) in [("naive", &naive), ("shepard", &scheme)] {
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>8} {:>10.2}%",
+            name,
+            m.losses.get(&LossCause::CollisionType1).unwrap_or(&0),
+            m.losses.get(&LossCause::CollisionType2).unwrap_or(&0),
+            m.losses.get(&LossCause::CollisionType3).unwrap_or(&0),
+            m.collision_losses(),
+            100.0 * m.hop_success_rate()
+        );
+    }
+    assert!(naive.collision_losses() > 0, "naive MAC should collide");
+    assert_eq!(scheme.collision_losses(), 0, "scheme must be collision-free");
+    println!("\nfigure 2 reproduced: naive MAC exhibits all three types; the scheme none. OK");
+}

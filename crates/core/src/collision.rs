@@ -1,0 +1,224 @@
+//! Collision classification (paper §5, Figure 2).
+//!
+//! A failed reception is attributed to one of the three collision types by
+//! inspecting the interferer snapshot the SINR tracker captured at the
+//! moment the reception first dipped below threshold:
+//!
+//! 1. **Type 1** — an interfering transmission not involving the receiver;
+//! 2. **Type 2** — an interfering transmission *addressed to* the receiver;
+//! 3. **Type 3** — the receiver's own transmitter.
+//!
+//! "Multiple collision types may occur simultaneously in more complicated
+//! situations"; we report all present and a primary type (largest
+//! contributor).
+//!
+//! Significance: the paper's §7.3 threshold — a single interferer matters
+//! only when it contributes at least ~¼ of the total interference (≈1 dB)
+//! — separates *collisions* (some individually-significant interferer)
+//! from *din* losses (the aggregate of many weak signals, which the model
+//! treats as noise). Without this distinction, a network operating near
+//! its link budget would mislabel ordinary background traffic as
+//! collisions.
+
+use crate::packet::LossCause;
+use parn_phys::sinr::{Blame, ReceptionReport};
+use parn_phys::StationId;
+
+/// The set of collision types present in one failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollisionKinds {
+    /// Some unrelated transmission interfered.
+    pub type1: bool,
+    /// Some other transmission addressed to this receiver interfered.
+    pub type2: bool,
+    /// The receiver's own transmitter interfered.
+    pub type3: bool,
+}
+
+/// Classify a single interferer relative to the receiving station.
+fn kind_of(blame: &Blame, rx: StationId) -> CollisionKinds {
+    if blame.station == rx {
+        CollisionKinds {
+            type3: true,
+            ..Default::default()
+        }
+    } else if blame.intended_rx == Some(rx) {
+        CollisionKinds {
+            type2: true,
+            ..Default::default()
+        }
+    } else {
+        CollisionKinds {
+            type1: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Default significance fraction: the paper's ¼ (≈1 dB) rule.
+pub const DEFAULT_SIGNIFICANCE: f64 = 0.25;
+
+/// Classify a failed reception with the default §7.3 significance rule.
+pub fn classify(report: &ReceptionReport) -> (CollisionKinds, LossCause) {
+    classify_with(report, DEFAULT_SIGNIFICANCE)
+}
+
+/// Classify a failed reception. Returns the kinds present (among
+/// *significant* interferers) and the [`LossCause`] of the primary
+/// (largest-contribution) one. A failure with no individually-significant
+/// interferer — whether there were no interferers at all, or only an
+/// aggregate of weak ones — is a link-budget (`Din`) loss.
+pub fn classify_with(
+    report: &ReceptionReport,
+    significance_fraction: f64,
+) -> (CollisionKinds, LossCause) {
+    debug_assert!(!report.success, "classifying a successful reception");
+    let floor = significance_fraction * report.interference_at_failure.value();
+    let mut kinds = CollisionKinds::default();
+    let mut primary: Option<&Blame> = None;
+    for b in &report.blame {
+        if b.contribution.value() < floor {
+            continue; // part of the din, not a collision
+        }
+        let k = kind_of(b, report.rx);
+        kinds.type1 |= k.type1;
+        kinds.type2 |= k.type2;
+        kinds.type3 |= k.type3;
+        if primary
+            .map(|p| b.contribution.value() > p.contribution.value())
+            .unwrap_or(true)
+        {
+            primary = Some(b);
+        }
+    }
+    let Some(primary) = primary else {
+        return (CollisionKinds::default(), LossCause::Din);
+    };
+    let cause = match kind_of(primary, report.rx) {
+        CollisionKinds { type3: true, .. } => LossCause::CollisionType3,
+        CollisionKinds { type2: true, .. } => LossCause::CollisionType2,
+        _ => LossCause::CollisionType1,
+    };
+    (kinds, cause)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parn_phys::PowerW;
+
+    fn report(rx: StationId, blame: Vec<Blame>) -> ReceptionReport {
+        // Total interference chosen so every listed interferer is
+        // significant unless a test overrides it.
+        let total: f64 = blame.iter().map(|b| b.contribution.value()).sum();
+        ReceptionReport {
+            rx,
+            src: 99,
+            success: false,
+            min_sinr: 0.0,
+            blame,
+            interference_at_failure: PowerW(total),
+        }
+    }
+
+    fn blame(station: StationId, intended: Option<StationId>, p: f64) -> Blame {
+        Blame {
+            station,
+            intended_rx: intended,
+            contribution: PowerW(p),
+        }
+    }
+
+    #[test]
+    fn type1_unrelated_transmitter() {
+        let r = report(5, vec![blame(2, Some(3), 1.0)]);
+        let (k, cause) = classify(&r);
+        assert!(k.type1 && !k.type2 && !k.type3);
+        assert_eq!(cause, LossCause::CollisionType1);
+    }
+
+    #[test]
+    fn type2_same_receiver() {
+        let r = report(5, vec![blame(2, Some(5), 1.0)]);
+        let (k, cause) = classify(&r);
+        assert!(!k.type1 && k.type2 && !k.type3);
+        assert_eq!(cause, LossCause::CollisionType2);
+    }
+
+    #[test]
+    fn type3_own_transmitter() {
+        let r = report(5, vec![blame(5, Some(7), 1e9)]);
+        let (k, cause) = classify(&r);
+        assert!(!k.type1 && !k.type2 && k.type3);
+        assert_eq!(cause, LossCause::CollisionType3);
+    }
+
+    #[test]
+    fn mixed_primary_by_contribution() {
+        // A weak Type 1 plus an overwhelming Type 3: the weak one is part
+        // of the din (below the significance floor), the Type 3 dominates.
+        let r = report(5, vec![blame(2, None, 0.1), blame(5, Some(1), 1e9)]);
+        let (k, cause) = classify(&r);
+        assert!(k.type3 && !k.type1, "weak interferer should be din");
+        assert_eq!(cause, LossCause::CollisionType3);
+    }
+
+    #[test]
+    fn mixed_comparable_contributions_report_both_kinds() {
+        // Two comparable interferers, both above the floor: both kinds
+        // flagged, largest is primary.
+        let r = report(5, vec![blame(2, Some(5), 4.0), blame(9, Some(3), 10.0)]);
+        let (k, cause) = classify(&r);
+        assert!(k.type1 && k.type2);
+        assert_eq!(cause, LossCause::CollisionType1);
+    }
+
+    #[test]
+    fn empty_blame_is_din() {
+        let r = report(5, vec![]);
+        let (k, cause) = classify(&r);
+        assert_eq!(k, CollisionKinds::default());
+        assert_eq!(cause, LossCause::Din);
+    }
+
+    #[test]
+    fn weak_interferers_are_din_not_collisions() {
+        // One interferer at 10% of the total interference: below the 1/4
+        // significance floor, so this is a link-budget loss.
+        let mut r = report(5, vec![blame(2, Some(3), 0.1)]);
+        r.interference_at_failure = PowerW(1.0);
+        let (k, cause) = classify(&r);
+        assert_eq!(k, CollisionKinds::default());
+        assert_eq!(cause, LossCause::Din);
+    }
+
+    #[test]
+    fn significant_among_weak_is_still_a_collision() {
+        // A dominant interferer plus background chatter: collision, with
+        // only the significant one shaping the kinds.
+        let mut r = report(
+            5,
+            vec![blame(2, Some(5), 0.6), blame(7, Some(8), 0.05)],
+        );
+        r.interference_at_failure = PowerW(1.0);
+        let (k, cause) = classify(&r);
+        assert!(k.type2 && !k.type1);
+        assert_eq!(cause, LossCause::CollisionType2);
+    }
+
+    #[test]
+    fn custom_significance_fraction() {
+        let mut r = report(5, vec![blame(2, None, 0.1)]);
+        r.interference_at_failure = PowerW(1.0);
+        assert_eq!(classify_with(&r, 0.25).1, LossCause::Din);
+        assert_eq!(classify_with(&r, 0.05).1, LossCause::CollisionType1);
+    }
+
+    #[test]
+    fn broadcast_interferer_is_type1() {
+        // intended_rx = None (control emission) not aimed at us: Type 1.
+        let r = report(5, vec![blame(2, None, 1.0)]);
+        let (_, cause) = classify(&r);
+        assert_eq!(cause, LossCause::CollisionType1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Simulation configuration.
+//!
+//! One [`NetConfig`] describes a complete scenario: placement, radio
+//! parameters, the schedule function, power control, routing thresholds,
+//! traffic, and run length. Defaults follow the paper's running example
+//! (§6–§7): free-space loss, ~20 dB processing gain, 5 dB margin,
+//! `p = 0.3`, quarter-slot packets, minimum-energy routing.
+
+use parn_phys::placement::Placement;
+use parn_phys::{PowerW, ReceptionCriterion};
+use parn_sched::SchedParams;
+use parn_sim::Duration;
+
+/// How packet destinations are drawn.
+#[derive(Clone, Debug)]
+pub enum DestPolicy {
+    /// Uniformly among all other stations (multihop traffic).
+    UniformAll,
+    /// Uniformly among the source's routing neighbours (single-hop).
+    Neighbors,
+    /// A fixed list of (src, dst) flows, cycled by the generator.
+    Flows(Vec<(usize, usize)>),
+}
+
+/// Traffic generation parameters.
+#[derive(Clone, Debug)]
+pub struct TrafficConfig {
+    /// Mean packet arrivals per station per second (Poisson).
+    pub arrivals_per_station_per_sec: f64,
+    /// Destination selection policy.
+    pub dest: DestPolicy,
+}
+
+/// How neighbours keep their clock models fresh after the initial
+/// rendezvous.
+#[derive(Clone, Debug)]
+pub enum SyncMode {
+    /// Idealized: every `resync_interval`, each station exchanges clock
+    /// readings with every tracked neighbour out of band.
+    Oracle,
+    /// No maintenance after the boot rendezvous: clock models keep their
+    /// single boot sample forever (staleness experiments).
+    None,
+    /// Realistic (§7): every successful reception carries the sender's
+    /// clock reading in its header (the receiver refines its model of the
+    /// sender for free), and each station additionally beacons a one-hop
+    /// `Hello` to every routing neighbour at this interval, through the
+    /// normal MAC, paying real air time.
+    Piggyback {
+        /// Hello beacon cadence.
+        hello_interval: Duration,
+    },
+}
+
+/// Clock and schedule-maintenance parameters.
+#[derive(Clone, Debug)]
+pub struct ClockConfig {
+    /// Maximum clock rate error magnitude (ppm).
+    pub max_ppm: f64,
+    /// Interval between clock-sample exchanges with neighbours
+    /// (Oracle mode).
+    pub resync_interval: Duration,
+    /// Guard band shaved off each predicted window edge.
+    pub guard: Duration,
+    /// Maintenance mechanism.
+    pub sync: SyncMode,
+}
+
+/// The §7.3 rule for protecting nearby neighbours' receive windows.
+#[derive(Clone, Debug)]
+pub struct NeighborProtection {
+    /// Whether the rule is active.
+    pub enabled: bool,
+    /// An interferer is "significant" when it would add at least this
+    /// fraction of the ambient interference (the paper's ¼ ⇒ ~1 dB).
+    pub significance_fraction: f64,
+}
+
+/// The complete scenario description.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Root random seed; every run with the same config is identical.
+    pub seed: u64,
+    /// Station placement.
+    pub placement: Placement,
+    /// Reception criterion (design rate, bandwidth, margin).
+    pub criterion: ReceptionCriterion,
+    /// Schedule function (slot length, receive duty cycle, salt).
+    pub sched: SchedParams,
+    /// Clock behaviour and schedule maintenance.
+    pub clock: ClockConfig,
+    /// Power delivered to the intended receiver under power control
+    /// (§6.1: the absolute level is not critical; it must simply dominate
+    /// thermal noise).
+    pub delivered_power: PowerW,
+    /// When set, disables §6.1 power control: every transmission uses this
+    /// fixed power regardless of hop length (ablation A1).
+    pub fixed_power: Option<PowerW>,
+    /// Transmitter power ceiling.
+    pub max_power: PowerW,
+    /// Thermal noise floor at each receiver.
+    pub thermal_noise: PowerW,
+    /// Extra constant interference representing the rest of the metro
+    /// beyond the simulated stations (0 for self-contained scenarios).
+    pub external_din: PowerW,
+    /// Log-normal shadowing standard deviation (dB) applied on top of
+    /// free-space loss; 0 disables it. Stations observe the shadowed
+    /// gains, so routing and power control adapt (paper §3.5's
+    /// "attenuated when there are obstructions" case).
+    pub shadowing_sigma_db: f64,
+    /// Self-interference power gain (duplexer leakage; effectively ∞).
+    pub self_gain: f64,
+    /// Despreading channels per receiver (§5: "GPS receivers often have
+    /// six or twelve").
+    pub despreaders: usize,
+    /// Reach factor: a hop is usable when its distance is at most
+    /// `reach × 1/√ρ` (the paper doubles the characteristic distance ⇒ 2).
+    pub reach_factor: f64,
+    /// §7.3 neighbour-protection rule.
+    pub protection: NeighborProtection,
+    /// Traffic.
+    pub traffic: TrafficConfig,
+    /// How far ahead the MAC searches for a usable window before
+    /// re-trying, in slots.
+    pub mac_horizon_slots: u64,
+    /// Hop retransmission limit before a packet is abandoned.
+    pub max_retries: u32,
+    /// Packets per slot: packet air time = slot / divisor (thesis: 4).
+    pub packet_divisor: u64,
+    /// Maximum simultaneously planned (committed, not yet sent)
+    /// transmissions per station. More than one keeps the transmitter busy
+    /// across its windows — the no-head-of-line-blocking behaviour that
+    /// lets §7.2's duty cycles approach 50%.
+    pub max_outstanding_plans: usize,
+    /// Compute routes with the distributed asynchronous Bellman–Ford
+    /// (what real stations run) instead of centralized Dijkstra. Both
+    /// converge to minimum-energy fixed points; tie-breaks may differ.
+    pub distributed_routing: bool,
+    /// Injected station failures: at each offset from the start, the
+    /// given station goes permanently silent. Routing heals `heal_delay`
+    /// later (standing in for distributed Bellman–Ford reconvergence).
+    pub failures: Vec<(Duration, usize)>,
+    /// Delay between a failure and the network-wide route repair.
+    pub heal_delay: Duration,
+    /// Simulated run length.
+    pub run_for: Duration,
+    /// Initial portion excluded from steady-state statistics.
+    pub warmup: Duration,
+}
+
+impl NetConfig {
+    /// The paper-flavoured default scenario: `n` stations uniform in a
+    /// disk sized for density ρ = 1 station / 100 m² (characteristic
+    /// distance 10 m), 100 kb/s design rate in 10 MHz (20 dB processing
+    /// gain), 5 dB margin, 10 ms slots at `p = 0.3`.
+    pub fn paper_default(n: usize, seed: u64) -> NetConfig {
+        let rho = 0.01; // stations per m²
+        let radius = (n as f64 / (std::f64::consts::PI * rho)).sqrt();
+        NetConfig {
+            seed,
+            placement: Placement::UniformDisk { n, radius },
+            criterion: ReceptionCriterion::with_5db_margin(1e5, 1e7),
+            sched: SchedParams::paper_default(),
+            clock: ClockConfig {
+                max_ppm: 20.0,
+                resync_interval: Duration::from_secs(5),
+                guard: Duration::from_micros(200),
+                sync: SyncMode::Oracle,
+            },
+            delivered_power: PowerW(1e-6),
+            fixed_power: None,
+            max_power: PowerW(1.0),
+            thermal_noise: PowerW(1e-13),
+            external_din: PowerW::ZERO,
+            shadowing_sigma_db: 0.0,
+            self_gain: 1e12,
+            despreaders: 8,
+            reach_factor: 2.0,
+            protection: NeighborProtection {
+                enabled: true,
+                significance_fraction: 0.25,
+            },
+            traffic: TrafficConfig {
+                arrivals_per_station_per_sec: 2.0,
+                dest: DestPolicy::UniformAll,
+            },
+            mac_horizon_slots: 200,
+            max_retries: 10,
+            packet_divisor: 4,
+            max_outstanding_plans: 8,
+            distributed_routing: false,
+            failures: Vec::new(),
+            heal_delay: Duration::from_millis(500),
+            run_for: Duration::from_secs(20),
+            warmup: Duration::from_secs(2),
+        }
+    }
+
+    /// Air time of one fixed-size packet (slot / divisor).
+    pub fn packet_airtime(&self) -> Duration {
+        self.sched.slot / self.packet_divisor
+    }
+
+    /// Payload carried per packet at the design rate.
+    pub fn packet_bits(&self) -> f64 {
+        self.criterion.rate_bps * self.packet_airtime().as_secs_f64()
+    }
+
+    /// The SINR threshold every reception must hold.
+    pub fn sinr_threshold(&self) -> f64 {
+        self.criterion.threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_self_consistent() {
+        let c = NetConfig::paper_default(100, 1);
+        assert_eq!(c.packet_airtime(), Duration::from_micros(2500));
+        // 100 kb/s × 2.5 ms = 250 bits per packet.
+        assert!((c.packet_bits() - 250.0).abs() < 1e-9);
+        // ~20 dB processing gain ⇒ threshold well below 0 dB.
+        assert!(c.sinr_threshold() < 0.1);
+        assert!(c.sinr_threshold() > 0.001);
+    }
+
+    #[test]
+    fn default_density_sizing() {
+        let c = NetConfig::paper_default(314, 1);
+        match c.placement {
+            Placement::UniformDisk { n, radius } => {
+                assert_eq!(n, 314);
+                // ρ = n/(πR²) = 0.01.
+                let rho = n as f64 / (std::f64::consts::PI * radius * radius);
+                assert!((rho - 0.01).abs() < 1e-6);
+            }
+            _ => panic!("unexpected placement"),
+        }
+    }
+
+    #[test]
+    fn delivered_power_dominates_thermal() {
+        let c = NetConfig::paper_default(100, 1);
+        assert!(c.delivered_power.value() > 1e4 * c.thermal_noise.value());
+    }
+}

@@ -1,0 +1,38 @@
+//! `parn-core`: Shepard's decentralized, collision-free channel access
+//! scheme for large dense packet radio networks (SIGCOMM '96), as a
+//! runnable simulation and library.
+//!
+//! * [`config`] — scenario description with paper-flavoured defaults;
+//! * [`packet`] — packets and loss causes;
+//! * [`power`] — §6.1 power control (deliver constant power);
+//! * [`collision`] — the §5 collision taxonomy over PHY failure reports;
+//! * [`station`] — per-station protocol state;
+//! * [`network`] — the full event-driven simulator (MAC + PHY + routing +
+//!   traffic);
+//! * [`metrics`] — loss/delay/duty accounting.
+//!
+//! ```
+//! use parn_core::{NetConfig, Network};
+//! let mut cfg = NetConfig::paper_default(20, 1);
+//! cfg.run_for = parn_sim::Duration::from_secs(3);
+//! cfg.warmup = parn_sim::Duration::from_secs(1);
+//! let metrics = Network::run(cfg);
+//! assert_eq!(metrics.collision_losses(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collision;
+pub mod config;
+pub mod metrics;
+pub mod network;
+pub mod packet;
+pub mod power;
+pub mod station;
+
+pub use collision::{classify, classify_with, CollisionKinds};
+pub use config::{ClockConfig, DestPolicy, NeighborProtection, NetConfig, SyncMode, TrafficConfig};
+pub use metrics::Metrics;
+pub use network::{Event, Network};
+pub use packet::{LossCause, Packet, PacketKind};
+pub use power::PowerPolicy;

@@ -1,0 +1,100 @@
+//! Packets.
+//!
+//! The scheme fixes the air-time of every packet to a quarter slot
+//! (§7.2); a "packet" here is the unit the MAC schedules, forwarded
+//! hop-by-hop along minimum-energy routes.
+
+use parn_phys::StationId;
+use parn_sim::Time;
+
+/// Unique packet identifier.
+pub type PacketId = u64;
+
+/// What a packet carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// Application payload, forwarded end-to-end.
+    Data,
+    /// A single-hop hello beacon carrying the sender's clock reading
+    /// (schedule maintenance under piggyback synchronization). Best
+    /// effort: never retried, not counted as traffic.
+    Hello,
+}
+
+/// A packet in flight through the network.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Payload kind.
+    pub kind: PacketKind,
+    /// Originating station.
+    pub src: StationId,
+    /// Final destination.
+    pub dst: StationId,
+    /// Creation (arrival at source) time.
+    pub created: Time,
+    /// Hops traversed so far.
+    pub hops: u32,
+    /// Time the packet was enqueued at the current holder (for per-hop
+    /// queueing-delay statistics).
+    pub enqueued: Time,
+}
+
+impl Packet {
+    /// A fresh packet at its source.
+    pub fn new(id: PacketId, src: StationId, dst: StationId, now: Time) -> Packet {
+        Packet {
+            id,
+            kind: PacketKind::Data,
+            src,
+            dst,
+            created: now,
+            hops: 0,
+            enqueued: now,
+        }
+    }
+
+    /// Age since creation.
+    pub fn age(&self, now: Time) -> parn_sim::Duration {
+        now.since(self.created)
+    }
+}
+
+/// Why a packet (or one reception of it) was lost.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LossCause {
+    /// SINR dipped below threshold: unrelated transmitter(s) (Type 1).
+    CollisionType1,
+    /// SINR dipped below threshold: another sender to the same receiver
+    /// (Type 2).
+    CollisionType2,
+    /// The receiver was itself transmitting (Type 3).
+    CollisionType3,
+    /// All despreading channels at the receiver were busy.
+    DespreaderExhausted,
+    /// SINR below threshold with no significant local interferer (the
+    /// ambient din alone was too high — a link-budget failure, not a
+    /// collision).
+    Din,
+    /// The packet was held by, or addressed to, a station that failed.
+    StationFailed,
+    /// The destination became unreachable after a topology change and the
+    /// packet was dropped at rerouting time.
+    Unroutable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_lifecycle_fields() {
+        let p = Packet::new(7, 1, 5, Time::from_secs(2));
+        assert_eq!(p.id, 7);
+        assert_eq!(p.kind, PacketKind::Data);
+        assert_eq!((p.src, p.dst), (1, 5));
+        assert_eq!(p.hops, 0);
+        assert_eq!(p.age(Time::from_secs(5)).as_secs_f64(), 3.0);
+    }
+}

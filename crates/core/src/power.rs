@@ -1,0 +1,109 @@
+//! Transmit power control (paper §6.1).
+//!
+//! "Transmit with sufficient power to deliver a constant pre-determined
+//! amount of power to the intended receiver." The delivered level is not
+//! critical — scaling all powers scales all interference equally — but
+//! fixing it reduces SINR variance and automatically adapts to density
+//! (denser area ⇒ closer neighbours ⇒ lower powers ⇒ constant power
+//! density).
+
+use parn_phys::{Gain, PowerW};
+
+/// A power-control policy.
+#[derive(Clone, Copy, Debug)]
+pub enum PowerPolicy {
+    /// The paper's scheme: deliver `target` at the intended receiver,
+    /// subject to a transmitter ceiling.
+    Controlled {
+        /// Power to deliver at the receiver.
+        target: PowerW,
+        /// Transmitter maximum.
+        max: PowerW,
+    },
+    /// No power control: always transmit at a fixed power (the baseline
+    /// assumption of §4's analysis and of the ablation A1).
+    Fixed(PowerW),
+}
+
+impl PowerPolicy {
+    /// The transmit power to use over a path with the given power gain.
+    pub fn tx_power(&self, path_gain: Gain) -> PowerW {
+        match *self {
+            PowerPolicy::Controlled { target, max } => {
+                debug_assert!(path_gain.value() > 0.0, "powering a dead path");
+                let p = target.value() / path_gain.value();
+                PowerW(p.min(max.value()))
+            }
+            PowerPolicy::Fixed(p) => p,
+        }
+    }
+
+    /// The power that will actually arrive at the receiver.
+    pub fn delivered(&self, path_gain: Gain) -> PowerW {
+        path_gain.apply(self.tx_power(path_gain))
+    }
+
+    /// Whether the path can receive the full target (i.e. the ceiling does
+    /// not bind). Always true for `Fixed`.
+    pub fn full_delivery(&self, path_gain: Gain) -> bool {
+        match *self {
+            PowerPolicy::Controlled { target, max } => {
+                target.value() <= max.value() * path_gain.value()
+            }
+            PowerPolicy::Fixed(_) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlled_inverts_gain() {
+        let p = PowerPolicy::Controlled {
+            target: PowerW(1e-6),
+            max: PowerW(10.0),
+        };
+        let g = Gain(1e-4);
+        assert!((p.tx_power(g).value() - 1e-2).abs() < 1e-15);
+        assert!((p.delivered(g).value() - 1e-6).abs() < 1e-18);
+        assert!(p.full_delivery(g));
+    }
+
+    #[test]
+    fn ceiling_binds_on_weak_paths() {
+        let p = PowerPolicy::Controlled {
+            target: PowerW(1e-6),
+            max: PowerW(0.001),
+        };
+        let weak = Gain(1e-12);
+        assert_eq!(p.tx_power(weak), PowerW(0.001));
+        assert!(!p.full_delivery(weak));
+        assert!(p.delivered(weak).value() < 1e-6);
+    }
+
+    #[test]
+    fn constant_delivery_across_distances() {
+        // §6.1: quadrupled density ⇒ half distance ⇒ quarter power, same
+        // delivered level.
+        let p = PowerPolicy::Controlled {
+            target: PowerW(1e-6),
+            max: PowerW(10.0),
+        };
+        let near = Gain(4e-4); // twice as close = 4x gain
+        let far = Gain(1e-4);
+        assert!((p.tx_power(far).value() / p.tx_power(near).value() - 4.0).abs() < 1e-12);
+        assert_eq!(p.delivered(near), p.delivered(far));
+    }
+
+    #[test]
+    fn fixed_ignores_gain() {
+        let p = PowerPolicy::Fixed(PowerW(0.5));
+        assert_eq!(p.tx_power(Gain(1e-9)), PowerW(0.5));
+        assert_eq!(p.tx_power(Gain(0.5)), PowerW(0.5));
+        assert!(p.full_delivery(Gain(1e-12)));
+        // Delivered varies with distance — the thing power control fixes.
+        assert!(p.delivered(Gain(1e-9)).value() < p.delivered(Gain(0.5)).value());
+    }
+}

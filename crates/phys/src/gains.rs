@@ -1,0 +1,186 @@
+//! The propagation matrix `H` (stored as power gains `g_ij = h_ij²`).
+//!
+//! In a real network "stations may observe the actual propagation between
+//! stations that are capable of direct communication" (§3.5); in the
+//! simulator we precompute the full matrix from a placement and a
+//! propagation model. Routing (§6.2) and neighbour discovery read it.
+
+use crate::geom::Point;
+use crate::propagation::Propagation;
+use crate::units::Gain;
+
+/// Index of a station.
+pub type StationId = usize;
+
+/// Dense matrix of pairwise power gains.
+///
+/// `g(i, j)` is the power gain from transmitter `j` to receiver `i`
+/// (paper's `h_ij²` indexing: first index is the receiver). For our
+/// isotropic models the matrix is symmetric, but the API keeps the
+/// receiver-first convention so directional models could drop in.
+#[derive(Clone, Debug)]
+pub struct GainMatrix {
+    n: usize,
+    g: Vec<f64>,
+    positions: Vec<Point>,
+}
+
+impl GainMatrix {
+    /// Build from station positions and a propagation model.
+    /// Self-paths `g(i, i)` are stored as zero: a station's own transmitter
+    /// is handled specially (Type 3 collisions, §5).
+    pub fn build<P: Propagation>(positions: &[Point], model: &P) -> GainMatrix {
+        let n = positions.len();
+        let mut g = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g[i * n + j] = model.power_gain(positions[j], positions[i]).value();
+                }
+            }
+        }
+        GainMatrix {
+            n,
+            g,
+            positions: positions.to_vec(),
+        }
+    }
+
+    /// Build directly from an explicit gain table (row-major,
+    /// receiver-first). Positions default to the origin; useful in tests.
+    pub fn from_raw(n: usize, g: Vec<f64>) -> GainMatrix {
+        assert_eq!(g.len(), n * n, "gain table size mismatch");
+        GainMatrix {
+            n,
+            g,
+            positions: vec![Point::ORIGIN; n],
+        }
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no stations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Power gain from transmitter `tx` to receiver `rx`.
+    #[inline]
+    pub fn gain(&self, rx: StationId, tx: StationId) -> Gain {
+        Gain(self.g[rx * self.n + tx])
+    }
+
+    /// Station positions (as built).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Position of one station.
+    pub fn position(&self, id: StationId) -> Point {
+        self.positions[id]
+    }
+
+    /// All stations whose path gain *to* `rx` is at least `threshold` —
+    /// the stations `rx` can plausibly hear directly.
+    pub fn hearable_by(&self, rx: StationId, threshold: Gain) -> Vec<StationId> {
+        (0..self.n)
+            .filter(|&tx| tx != rx && self.gain(rx, tx) >= threshold)
+            .collect()
+    }
+
+    /// The strongest `k` paths into `rx`, best first.
+    pub fn strongest_neighbors(&self, rx: StationId, k: usize) -> Vec<StationId> {
+        let mut ids: Vec<StationId> =
+            (0..self.n).filter(|&j| j != rx).collect();
+        ids.sort_by(|&a, &b| {
+            self.gain(rx, b)
+                .value()
+                .partial_cmp(&self.gain(rx, a).value())
+                .expect("NaN gain")
+        });
+        ids.truncate(k);
+        ids
+    }
+
+    /// Sum of gains into `rx` from every other station — the receiver's
+    /// exposure if everyone transmitted at unit power simultaneously.
+    pub fn total_exposure(&self, rx: StationId) -> f64 {
+        (0..self.n)
+            .filter(|&j| j != rx)
+            .map(|j| self.gain(rx, j).value())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::FreeSpace;
+
+    fn line_positions() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(30.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn build_and_access() {
+        let m = GainMatrix::build(&line_positions(), &FreeSpace::unit());
+        assert_eq!(m.len(), 3);
+        assert!((m.gain(0, 1).value() - 0.01).abs() < 1e-15);
+        assert!((m.gain(0, 2).value() - 1.0 / 900.0).abs() < 1e-15);
+        assert_eq!(m.gain(1, 1), Gain::ZERO, "self-path is zero");
+    }
+
+    #[test]
+    fn symmetry_for_isotropic_model() {
+        let m = GainMatrix::build(&line_positions(), &FreeSpace::unit());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.gain(i, j), m.gain(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn hearable_threshold() {
+        let m = GainMatrix::build(&line_positions(), &FreeSpace::unit());
+        // Station 0: gain from 1 is 0.01, from 2 is ~0.0011.
+        assert_eq!(m.hearable_by(0, Gain(0.005)), vec![1]);
+        assert_eq!(m.hearable_by(0, Gain(0.0005)), vec![1, 2]);
+        assert!(m.hearable_by(0, Gain(0.5)).is_empty());
+    }
+
+    #[test]
+    fn strongest_neighbors_sorted() {
+        let m = GainMatrix::build(&line_positions(), &FreeSpace::unit());
+        assert_eq!(m.strongest_neighbors(2, 2), vec![1, 0]);
+        assert_eq!(m.strongest_neighbors(2, 1), vec![1]);
+        assert_eq!(m.strongest_neighbors(2, 10).len(), 2);
+    }
+
+    #[test]
+    fn total_exposure_sums() {
+        let m = GainMatrix::build(&line_positions(), &FreeSpace::unit());
+        let e = m.total_exposure(0);
+        assert!((e - (0.01 + 1.0 / 900.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_raw_round_trip() {
+        let m = GainMatrix::from_raw(2, vec![0.0, 0.5, 0.25, 0.0]);
+        assert_eq!(m.gain(0, 1).value(), 0.5);
+        assert_eq!(m.gain(1, 0).value(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_raw_checks_size() {
+        GainMatrix::from_raw(2, vec![0.0; 3]);
+    }
+}

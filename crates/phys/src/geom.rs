@@ -1,0 +1,190 @@
+//! Planar geometry for station placement and routing predicates.
+//!
+//! Stations live in a 2-D plane (the paper's "infinite flat earth",
+//! truncated to a metro-sized disk by the radio horizon, §4). Distances are
+//! in meters by convention, though the physics is scale-free.
+
+use std::fmt;
+
+/// A point in the plane (meters).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// East–west coordinate.
+    pub x: f64,
+    /// North–south coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared distance (cheaper; enough for comparisons).
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of the segment to `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Translate by a vector.
+    pub fn offset(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// A disk (used for the metro region and for relay predicates).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Disk {
+    /// Center of the disk.
+    pub center: Point,
+    /// Radius in meters.
+    pub radius: f64,
+}
+
+impl Disk {
+    /// Construct a disk.
+    pub fn new(center: Point, radius: f64) -> Disk {
+        debug_assert!(radius >= 0.0);
+        Disk { center, radius }
+    }
+
+    /// The disk whose *diameter* is the segment `ab` — the paper's
+    /// minimum-energy relay region (§6.2): with `1/r²` loss, relaying via
+    /// `B` beats transmitting `A→C` directly exactly when `B` lies inside
+    /// this disk.
+    pub fn on_diameter(a: Point, b: Point) -> Disk {
+        Disk::new(a.midpoint(b), a.distance(b) / 2.0)
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius * (1.0 + 1e-12)
+    }
+
+    /// Area of the disk.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+}
+
+/// Test whether relaying `a → relay → c` uses no more *energy* than the
+/// direct hop `a → c`, under `1/r^alpha` power loss with power control
+/// (transmit power ∝ rᵅ).
+///
+/// For `alpha = 2` this is equivalent to `relay ∈ Disk::on_diameter(a, c)`
+/// (by the Pythagorean inequality `|ar|² + |rc|² ≤ |ac|²` iff the angle at
+/// the relay is ≥ 90°). The general form lets ablations explore other
+/// exponents.
+pub fn relay_saves_energy(a: Point, relay: Point, c: Point, alpha: f64) -> bool {
+    let d_ar = a.distance(relay);
+    let d_rc = relay.distance(c);
+    let d_ac = a.distance(c);
+    d_ar.powf(alpha) + d_rc.powf(alpha) <= d_ac.powf(alpha) * (1.0 + 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+        assert_eq!(a.midpoint(b), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn disk_contains() {
+        let d = Disk::new(Point::ORIGIN, 10.0);
+        assert!(d.contains(Point::new(10.0, 0.0)));
+        assert!(d.contains(Point::new(7.0, 7.0)));
+        assert!(!d.contains(Point::new(7.2, 7.2)));
+        assert!((d.area() - std::f64::consts::PI * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diameter_disk_matches_paper_figure() {
+        // Paper §6.2: relay B between A and C; exactly centered halves the
+        // per-hop distance, quartering power — inside the circle.
+        let a = Point::new(0.0, 0.0);
+        let c = Point::new(10.0, 0.0);
+        let d = Disk::on_diameter(a, c);
+        assert_eq!(d.center, Point::new(5.0, 0.0));
+        assert!((d.radius - 5.0).abs() < 1e-12);
+        assert!(d.contains(Point::new(5.0, 0.0)));
+        assert!(d.contains(Point::new(5.0, 4.9)));
+        assert!(!d.contains(Point::new(5.0, 5.1)));
+    }
+
+    #[test]
+    fn relay_energy_alpha2_equals_diameter_circle() {
+        let a = Point::new(0.0, 0.0);
+        let c = Point::new(8.0, 0.0);
+        let disk = Disk::on_diameter(a, c);
+        // A grid of candidate relays: the energy predicate and the circle
+        // predicate must agree everywhere (alpha = 2).
+        for ix in -20..=40 {
+            for iy in -20..=20 {
+                let p = Point::new(ix as f64 * 0.5, iy as f64 * 0.5);
+                assert_eq!(
+                    relay_saves_energy(a, p, c, 2.0),
+                    disk.contains(p),
+                    "disagree at {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn centered_relay_halves_energy() {
+        // Paper: relay exactly centered cuts each hop's power by 4; doubled
+        // duration, so total energy halves. With cost ∝ r²:
+        let a = Point::new(0.0, 0.0);
+        let c = Point::new(10.0, 0.0);
+        let b = a.midpoint(c);
+        let direct = a.distance_sq(c);
+        let relayed = a.distance_sq(b) + b.distance_sq(c);
+        assert!((relayed / direct - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relay_alpha4_region_is_larger() {
+        // With steeper loss, relaying pays off in a wider region.
+        let a = Point::new(0.0, 0.0);
+        let c = Point::new(10.0, 0.0);
+        let p = Point::new(5.0, 6.0); // outside the alpha=2 circle
+        assert!(!relay_saves_energy(a, p, c, 2.0));
+        assert!(relay_saves_energy(a, p, c, 4.0));
+    }
+
+    #[test]
+    fn degenerate_relay_on_endpoint() {
+        let a = Point::new(0.0, 0.0);
+        let c = Point::new(10.0, 0.0);
+        assert!(relay_saves_energy(a, a, c, 2.0));
+        assert!(relay_saves_energy(a, c, c, 2.0));
+    }
+}

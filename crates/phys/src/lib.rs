@@ -1,0 +1,40 @@
+//! `parn-phys`: the radio-physics substrate of the `parn` workspace.
+//!
+//! Implements the physical model of Shepard's SIGCOMM '96 paper:
+//!
+//! * [`units`] — decibels, powers, power gains;
+//! * [`geom`] — planar geometry, including the minimum-energy relay circle;
+//! * [`placement`] — station placement models (uniform disk, Poisson,
+//!   grid, clustered);
+//! * [`propagation`] — free-space `1/r²` loss and variants (power-law,
+//!   atmospheric attenuation, radio horizon);
+//! * [`gains`] — the propagation matrix `H` (stored as power gains);
+//! * [`shannon`] — capacity, the reception criterion
+//!   `S/N ≥ β·(2^(C/W) − 1)`, processing-gain budgeting;
+//! * [`noise`] — the §4 noise-growth analysis (Figure 1):
+//!   `S/N ≈ 1/(π·η·ln M)`;
+//! * [`sic`] — successive interference cancellation (§3.4 footnote 2);
+//! * [`sinr`] — the incremental interference tracker used by every MAC in
+//!   the workspace (interference is the *power sum* of concurrent
+//!   transmissions — no success-if-exclusive shortcut);
+//! * [`linkbudget`] — system sizing and the metro-scale projection.
+
+#![warn(missing_docs)]
+
+pub mod gains;
+pub mod geom;
+pub mod linkbudget;
+pub mod noise;
+pub mod placement;
+pub mod propagation;
+pub mod shannon;
+pub mod sic;
+pub mod sinr;
+pub mod units;
+
+pub use gains::{GainMatrix, StationId};
+pub use geom::{Disk, Point};
+pub use propagation::{FreeSpace, Propagation};
+pub use shannon::ReceptionCriterion;
+pub use sinr::{ReceptionReport, RxId, SinrTracker, TxId};
+pub use units::{Db, Gain, PowerW};

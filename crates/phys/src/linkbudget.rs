@@ -1,0 +1,167 @@
+//! Link budgets and system sizing (paper §6 and the scaling conclusion).
+//!
+//! Ties together the noise-growth model, the Shannon criterion and the
+//! processing-gain budget into "will this link work, and at what rate"
+//! arithmetic, plus the headline metro-scale projection: millions of
+//! stations in a metro area with raw per-station rates in the hundreds of
+//! megabits per second given a modest slice of spectrum.
+
+use crate::noise::snr_vs_scale;
+use crate::shannon::spectral_efficiency;
+use crate::units::Db;
+
+/// System-level design parameters for a large-scale deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemDesign {
+    /// Total station count the design must tolerate.
+    pub stations: f64,
+    /// Average transmit duty cycle η.
+    pub duty_cycle: f64,
+    /// Channel bandwidth W (Hz).
+    pub bandwidth_hz: f64,
+    /// Detection margin above Shannon (linear; ≈3 for 5 dB).
+    pub detection_margin: f64,
+    /// Range margin for neighbours up to 2× the characteristic distance
+    /// (linear; 4 for 6 dB).
+    pub range_margin: f64,
+}
+
+impl SystemDesign {
+    /// The paper's running example: metro scale, quarter duty cycle,
+    /// 5 dB detection margin, 6 dB range margin.
+    pub fn metro(stations: f64, bandwidth_hz: f64) -> SystemDesign {
+        SystemDesign {
+            stations,
+            duty_cycle: 0.25,
+            bandwidth_hz,
+            detection_margin: Db(5.0).to_ratio(),
+            range_margin: Db(6.0).to_ratio(),
+        }
+    }
+
+    /// Din-limited SNR at the characteristic neighbour distance (Eq. 15).
+    pub fn din_snr(&self) -> f64 {
+        snr_vs_scale(self.duty_cycle, self.stations)
+    }
+
+    /// The worst-case *design* SNR: din SNR reduced by the range margin
+    /// (neighbours up to twice the characteristic distance).
+    pub fn design_snr(&self) -> f64 {
+        self.din_snr() / self.range_margin
+    }
+
+    /// The raw design rate (bit/s) a station signals at while transmitting:
+    /// the Shannon rate at the design SNR, derated by the detection margin.
+    ///
+    /// Uses the exact `log₂(1 + snr/β)` form: choosing the rate a β-worse
+    /// channel could carry guarantees the margin.
+    pub fn raw_rate_bps(&self) -> f64 {
+        self.bandwidth_hz * spectral_efficiency(self.design_snr() / self.detection_margin)
+    }
+
+    /// Processing gain `W/C` implied by the design rate, in dB. The paper
+    /// concludes this lands in the 20–25 dB range (§6).
+    pub fn processing_gain_db(&self) -> f64 {
+        Db::from_ratio(self.bandwidth_hz / self.raw_rate_bps()).value()
+    }
+
+    /// Long-run per-station throughput: raw rate × transmit duty cycle.
+    pub fn sustained_rate_bps(&self) -> f64 {
+        self.raw_rate_bps() * self.duty_cycle
+    }
+
+    /// The abstract's headline projection: raw rate with an "optimistic
+    /// view of future signal processing capabilities" — Shannon-achieving
+    /// detection (no β), neighbour at the characteristic distance (no range
+    /// derating). Only the din limits the rate.
+    pub fn projection_rate_bps(&self) -> f64 {
+        self.bandwidth_hz * spectral_efficiency(self.din_snr())
+    }
+}
+
+/// Throughput loss from reaching farther (§6): doubling range costs 6 dB of
+/// SNR and, in the linear (low-SNR) regime, a factor-of-four in raw rate.
+/// Returns the rate multiplier for reaching `range_factor` × the
+/// characteristic distance at reference SNR `snr0`.
+pub fn rate_factor_for_range(snr0: f64, range_factor: f64) -> f64 {
+    debug_assert!(range_factor > 0.0);
+    // 1/r² power loss: reaching rf× farther divides received power by rf².
+    let snr = snr0 / (range_factor * range_factor);
+    spectral_efficiency(snr) / spectral_efficiency(snr0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metro_projection_hundreds_of_mbps() {
+        // One million stations, 1.5 GHz of spectrum ("a modest fraction of
+        // the radio spectrum"), η = 0.25, Shannon-achieving detection ("an
+        // optimistic view of future signal processing"): the abstract
+        // promises raw per-station rates in the hundreds of Mb/s.
+        let d = SystemDesign::metro(1e6, 1.5e9);
+        let raw = d.projection_rate_bps();
+        assert!(
+            (1e8..1e9).contains(&raw),
+            "raw rate {:.3e} not in hundreds of Mb/s",
+            raw
+        );
+    }
+
+    #[test]
+    fn conservative_design_rate_much_lower() {
+        // With the 5 dB detection margin and 6 dB range margin the
+        // engineered per-link design rate is far below the projection.
+        let d = SystemDesign::metro(1e6, 1.5e9);
+        assert!(d.raw_rate_bps() < d.projection_rate_bps() / 5.0);
+    }
+
+    #[test]
+    fn processing_gain_lands_in_paper_range() {
+        let d = SystemDesign::metro(1e6, 100e6);
+        let pg = d.processing_gain_db();
+        assert!((17.0..27.0).contains(&pg), "pg {pg} dB");
+    }
+
+    #[test]
+    fn din_snr_matches_eq15() {
+        let d = SystemDesign::metro(1e6, 100e6);
+        let snr = d.din_snr();
+        let expected = 1.0 / (std::f64::consts::PI * 0.25 * (1e6f64).ln());
+        assert!((snr - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn design_snr_is_range_derated() {
+        let d = SystemDesign::metro(1e6, 100e6);
+        assert!((d.design_snr() * d.range_margin - d.din_snr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustained_rate_scales_with_duty() {
+        let d = SystemDesign::metro(1e6, 100e6);
+        assert!((d.sustained_rate_bps() - 0.25 * d.raw_rate_bps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_stations_lower_rate_but_slowly() {
+        let a = SystemDesign::metro(1e6, 100e6).raw_rate_bps();
+        let b = SystemDesign::metro(1e9, 100e6).raw_rate_bps();
+        assert!(b < a);
+        assert!(b > a * 0.5, "only logarithmic decline expected");
+    }
+
+    #[test]
+    fn range_doubling_quarters_rate() {
+        // Low-SNR regime: factor 2 in range → 6 dB → rate ÷ ~4.
+        let f = rate_factor_for_range(0.01, 2.0);
+        assert!((f - 0.25).abs() < 0.01, "factor {f}");
+    }
+
+    #[test]
+    fn range_factor_identity() {
+        let f = rate_factor_for_range(0.05, 1.0);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+}

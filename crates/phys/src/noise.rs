@@ -1,0 +1,262 @@
+//! Noise growth as the system scales (paper §4, Figure 1).
+//!
+//! With `M` stations of unit transmit power and duty cycle η scattered
+//! uniformly (density ρ) in a disk of radius `R`, the interference power at
+//! a central receiver — integrating `1/r²` loss over the annulus from the
+//! local-exclusion radius `R₀ = 1/(2√ρ)` to `R` — is
+//!
+//! ```text
+//! N = 2π·κ·ρ·η·ln(R/R₀) ≈ π·κ·ρ·η·ln M        (Eq. 11–13)
+//! ```
+//!
+//! and the signal from a characteristic neighbour at distance `1/√ρ`
+//! (π ≈ 3 expected stations within that range, §6) is `S = κ·ρ`, giving
+//!
+//! ```text
+//! S/N ≈ 1 / (π·η·ln M)                         (Eq. 15)
+//! ```
+//!
+//! — declining only with the *logarithm* of the station count: ≈ −20 dB at
+//! M = 10¹², η = 1. (OCR note: the published text's constants are garbled;
+//! this form reproduces every numeric anchor in the prose — −20 dB at
+//! 10¹²/η=1, −14 dB at η=0.25, 14 and 56 bit/s/kHz — see EXPERIMENTS.md.)
+//!
+//! The module also exposes the divergent infinite-plane integral (the
+//! "Olbers' paradox" observation) and the exact finite-annulus form used to
+//! cross-check Monte-Carlo placements.
+
+use std::f64::consts::PI;
+
+/// The paper's Eq. 15: expected SNR of a transmission from a neighbour at
+/// the characteristic distance `1/√ρ`, in a uniform system of `m` stations
+/// at transmit duty cycle `eta`. Scale-free (independent of ρ and area).
+///
+/// ```
+/// use parn_phys::noise::snr_vs_scale;
+/// // A trillion stations at full duty: about -19.4 dB — the paper's
+/// // "approaching -20 dB".
+/// let snr = snr_vs_scale(1.0, 1e12);
+/// assert!((10.0 * snr.log10() + 19.4).abs() < 0.1);
+/// ```
+pub fn snr_vs_scale(eta: f64, m: f64) -> f64 {
+    debug_assert!(eta > 0.0 && m > 1.0);
+    1.0 / (PI * eta * m.ln())
+}
+
+/// Eq. 15 in decibels.
+pub fn snr_vs_scale_db(eta: f64, m: f64) -> f64 {
+    10.0 * snr_vs_scale(eta, m).log10()
+}
+
+/// Exact expected interference power at the center of an annulus
+/// `[r0, r1]` filled with transmitters of density `rho`, each at power
+/// `p` and duty cycle `eta`, under `κ/r²` loss (Eq. 11–12):
+/// `N = 2π·κ·ρ·η·p·ln(r1/r0)`.
+pub fn annulus_interference(kappa: f64, rho: f64, eta: f64, p: f64, r0: f64, r1: f64) -> f64 {
+    debug_assert!(r1 >= r0 && r0 > 0.0);
+    2.0 * PI * kappa * rho * eta * p * (r1 / r0).ln()
+}
+
+/// The paper's local-exclusion radius `R₀ = 1/(2√ρ)` (footnote 7): sources
+/// closer than this are "clearly local" and handled by the access scheme,
+/// not the din statistics.
+pub fn exclusion_radius(rho: f64) -> f64 {
+    debug_assert!(rho > 0.0);
+    1.0 / (2.0 * rho.sqrt())
+}
+
+/// Disk radius holding `m` stations at density `rho`.
+pub fn disk_radius(m: f64, rho: f64) -> f64 {
+    (m / (PI * rho)).sqrt()
+}
+
+/// The exact (un-approximated) SNR for a neighbour at distance `d`, in a
+/// disk of `m` stations at density `rho`, duty cycle `eta`, unit powers:
+/// `S = κ/d²` over `N = 2π·κ·ρ·η·ln(R/R₀)`.
+pub fn snr_exact(eta: f64, m: f64, rho: f64, d: f64) -> f64 {
+    let r0 = exclusion_radius(rho);
+    let r = disk_radius(m, rho);
+    let s = 1.0 / (d * d);
+    let n = 2.0 * PI * rho * eta * (r / r0).ln();
+    s / n
+}
+
+/// Partial sums of the infinite-plane interference integral out to radius
+/// `r` (relative to `r0`): demonstrates the logarithmic divergence the
+/// paper opens §4 with ("the integral just barely diverges").
+pub fn infinite_plane_partial(rho: f64, eta: f64, r0: f64, r: f64) -> f64 {
+    annulus_interference(1.0, rho, eta, 1.0, r0, r)
+}
+
+/// A row of the Figure 1 data: `(log10(M), snr_db per eta)`.
+#[derive(Clone, Debug)]
+pub struct Fig1Row {
+    /// log₁₀ of the station count.
+    pub log10_m: f64,
+    /// SNR in dB for each duty cycle, in the same order as the `etas`
+    /// passed to [`figure1`].
+    pub snr_db: Vec<f64>,
+}
+
+/// Generate the Figure 1 family of curves: SNR vs log₁₀(M) for the given
+/// duty cycles, sampled at every integer decade in `[decade_lo, decade_hi]`.
+pub fn figure1(etas: &[f64], decade_lo: u32, decade_hi: u32) -> Vec<Fig1Row> {
+    (decade_lo..=decade_hi)
+        .map(|d| {
+            let m = 10f64.powi(d as i32);
+            Fig1Row {
+                log10_m: d as f64,
+                snr_db: etas.iter().map(|&e| snr_vs_scale_db(e, m)).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Throughput-neutrality of the duty cycle (§4): in the low-SNR regime the
+/// achievable rate while transmitting is ∝ SNR ∝ 1/η, but air time is ∝ η,
+/// so net throughput is ~constant. Returns relative net throughput
+/// (rate × η), normalized so η = 1 gives 1.0, for comparison across η.
+pub fn relative_net_throughput(eta: f64, m: f64) -> f64 {
+    let rate = (1.0 + snr_vs_scale(eta, m)).log2();
+    let rate_at_1 = (1.0 + snr_vs_scale(1.0, m)).log2();
+    eta * rate / rate_at_1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq15_anchor_minus_20db_at_1e12() {
+        // Paper: "approaching −20 dB for η = 1 as the number of stations
+        // approaches 10¹²".
+        let db = snr_vs_scale_db(1.0, 1e12);
+        assert!((-20.5..=-19.0).contains(&db), "got {db} dB");
+    }
+
+    #[test]
+    fn eq15_anchor_low_eta_small_m() {
+        // Figure 1's top-left: η = 0.05 at M = 10 sits near +4..5 dB.
+        let db = snr_vs_scale_db(0.05, 10.0);
+        assert!((4.0..=5.0).contains(&db), "got {db} dB");
+    }
+
+    #[test]
+    fn quarter_duty_gains_6db() {
+        // §4: "at η = 0.25 the SNR is better by a factor of four, +6 dB".
+        let gain = snr_vs_scale_db(0.25, 1e12) - snr_vs_scale_db(1.0, 1e12);
+        assert!((gain - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snr_declines_slowly() {
+        // Growing M by 10^6 × costs only a few dB.
+        let drop = snr_vs_scale_db(1.0, 1e6) - snr_vs_scale_db(1.0, 1e12);
+        assert!((2.9..=3.1).contains(&drop), "drop {drop} dB");
+    }
+
+    #[test]
+    fn snr_monotonic_in_m_and_eta() {
+        assert!(snr_vs_scale(0.5, 1e3) > snr_vs_scale(0.5, 1e6));
+        assert!(snr_vs_scale(0.1, 1e6) > snr_vs_scale(0.5, 1e6));
+    }
+
+    #[test]
+    fn annulus_integral_closed_form() {
+        // Doubling the outer radius adds a fixed increment: N(r0,4) − N(r0,2)
+        // = 2πρη ln 2.
+        let a = annulus_interference(1.0, 0.01, 0.5, 1.0, 1.0, 2.0);
+        let b = annulus_interference(1.0, 0.01, 0.5, 1.0, 1.0, 4.0);
+        let inc = b - a;
+        let expected = 2.0 * PI * 0.01 * 0.5 * std::f64::consts::LN_2;
+        assert!((inc - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_plane_diverges_logarithmically() {
+        // Partial sums grow without bound, but painfully slowly — each
+        // decade of radius adds the same amount.
+        let per_decade: Vec<f64> = (0..5)
+            .map(|k| {
+                infinite_plane_partial(0.01, 1.0, 1.0, 10f64.powi(k + 1))
+                    - infinite_plane_partial(0.01, 1.0, 1.0, 10f64.powi(k))
+            })
+            .collect();
+        for w in per_decade.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "decades differ: {w:?}");
+        }
+        assert!(per_decade[0] > 0.0);
+    }
+
+    #[test]
+    fn exact_vs_approx_at_characteristic_distance() {
+        // The exact annulus SNR at d = 1/√ρ should track Eq. 15 within a dB
+        // or so for large M (the approximation drops a ln(4/π)/ln M term).
+        let rho: f64 = 1e-4;
+        let m = 1e9;
+        let d = 1.0 / rho.sqrt();
+        let exact = snr_exact(1.0, m, rho, d);
+        let approx = snr_vs_scale(1.0, m);
+        let diff_db = 10.0 * (exact / approx).log10();
+        assert!(diff_db.abs() < 1.0, "diff {diff_db} dB");
+    }
+
+    #[test]
+    fn exact_snr_scale_free() {
+        // Changing ρ (with d scaled accordingly) must not change the SNR.
+        let m = 1e6;
+        let a = snr_exact(0.5, m, 1e-2, 10.0);
+        let b = snr_exact(0.5, m, 1e-6, 1000.0);
+        assert!((a - b).abs() / a < 1e-12);
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let rows = figure1(&[0.05, 0.1, 0.2, 0.5, 1.0], 1, 12);
+        assert_eq!(rows.len(), 12);
+        for row in &rows {
+            // Lower duty cycle ⇒ higher SNR, strictly ordered.
+            for pair in row.snr_db.windows(2) {
+                assert!(pair[0] > pair[1], "row {row:?}");
+            }
+        }
+        // Curves decline along M.
+        for c in 0..5 {
+            for w in rows.windows(2) {
+                assert!(w[0].snr_db[c] > w[1].snr_db[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn duty_cycle_throughput_neutral_when_noisy() {
+        // §4: "no gain in throughput by further reducing the transmit duty
+        // cycle in a large noisy system" — at M = 10¹², halving η from 0.5
+        // to 0.25 changes net throughput by only a few percent.
+        let t50 = relative_net_throughput(0.5, 1e12);
+        let t25 = relative_net_throughput(0.25, 1e12);
+        assert!(((t25 / t50) - 1.0).abs() < 0.05, "{t25} vs {t50}");
+    }
+
+    #[test]
+    fn duty_cycle_matters_when_quiet() {
+        // In a small system the SNR is high and capacity is log-like, so
+        // higher duty cycle *does* win.
+        let t100 = relative_net_throughput(1.0, 5.0);
+        let t10 = relative_net_throughput(0.1, 5.0);
+        assert!(t100 > t10 * 1.4, "{t100} vs {t10}");
+    }
+
+    #[test]
+    fn exclusion_radius_footnote() {
+        let rho = 0.04;
+        assert!((exclusion_radius(rho) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_radius_inverts_density() {
+        let r = disk_radius(1000.0, 0.01);
+        let m = PI * r * r * 0.01;
+        assert!((m - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,298 @@
+//! Station placement models.
+//!
+//! The paper's analysis assumes stations "distributed randomly within a
+//! circle of radius R" (§4); its design must "cope with varying densities"
+//! (§6). We provide the uniform-disk model the analysis uses plus variants
+//! for robustness experiments: a Poisson point process (random count), a
+//! regular grid (best case), and clustered placements (worst case for
+//! density variation).
+
+use crate::geom::{Disk, Point};
+use parn_sim::Rng;
+
+/// A named placement model.
+#[derive(Clone, Debug)]
+pub enum Placement {
+    /// Exactly `n` stations uniform in a disk of the given radius.
+    UniformDisk {
+        /// Number of stations.
+        n: usize,
+        /// Disk radius (m).
+        radius: f64,
+    },
+    /// Poisson point process of the given intensity (stations/m²) in a disk;
+    /// the station count itself is random.
+    PoissonDisk {
+        /// Expected density, stations per square meter.
+        density: f64,
+        /// Disk radius (m).
+        radius: f64,
+    },
+    /// A jittered square grid clipped to a disk: `nx × ny` cells of size
+    /// `spacing`, each station displaced by up to `jitter` in each axis.
+    Grid {
+        /// Grid columns.
+        nx: usize,
+        /// Grid rows.
+        ny: usize,
+        /// Cell size (m).
+        spacing: f64,
+        /// Max per-axis displacement (m).
+        jitter: f64,
+    },
+    /// Gaussian clusters: `clusters` cluster centers uniform in the disk,
+    /// `per_cluster` stations normally scattered (σ = `sigma`) around each.
+    Clustered {
+        /// Number of clusters.
+        clusters: usize,
+        /// Stations per cluster.
+        per_cluster: usize,
+        /// Cluster spread (m).
+        sigma: f64,
+        /// Disk radius for cluster centers (m).
+        radius: f64,
+    },
+}
+
+impl Placement {
+    /// Generate station positions. Deterministic in `rng`.
+    pub fn generate(&self, rng: &mut Rng) -> Vec<Point> {
+        match *self {
+            Placement::UniformDisk { n, radius } => {
+                (0..n).map(|_| uniform_in_disk(radius, rng)).collect()
+            }
+            Placement::PoissonDisk { density, radius } => {
+                let area = std::f64::consts::PI * radius * radius;
+                let n = rng.poisson(density * area) as usize;
+                (0..n).map(|_| uniform_in_disk(radius, rng)).collect()
+            }
+            Placement::Grid {
+                nx,
+                ny,
+                spacing,
+                jitter,
+            } => {
+                let mut pts = Vec::with_capacity(nx * ny);
+                let x0 = -(nx as f64 - 1.0) * spacing / 2.0;
+                let y0 = -(ny as f64 - 1.0) * spacing / 2.0;
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let jx = if jitter > 0.0 {
+                            rng.range_f64(-jitter, jitter)
+                        } else {
+                            0.0
+                        };
+                        let jy = if jitter > 0.0 {
+                            rng.range_f64(-jitter, jitter)
+                        } else {
+                            0.0
+                        };
+                        pts.push(Point::new(
+                            x0 + ix as f64 * spacing + jx,
+                            y0 + iy as f64 * spacing + jy,
+                        ));
+                    }
+                }
+                pts
+            }
+            Placement::Clustered {
+                clusters,
+                per_cluster,
+                sigma,
+                radius,
+            } => {
+                let mut pts = Vec::with_capacity(clusters * per_cluster);
+                for _ in 0..clusters {
+                    let c = uniform_in_disk(radius, rng);
+                    for _ in 0..per_cluster {
+                        pts.push(Point::new(
+                            rng.normal(c.x, sigma),
+                            rng.normal(c.y, sigma),
+                        ));
+                    }
+                }
+                pts
+            }
+        }
+    }
+
+    /// Nominal region the placement occupies, for density book-keeping.
+    pub fn region(&self) -> Disk {
+        match *self {
+            Placement::UniformDisk { radius, .. }
+            | Placement::PoissonDisk { radius, .. }
+            | Placement::Clustered { radius, .. } => {
+                Disk::new(Point::ORIGIN, radius)
+            }
+            Placement::Grid {
+                nx, ny, spacing, ..
+            } => {
+                let half_diag = spacing
+                    * (((nx as f64) * (nx as f64) + (ny as f64) * (ny as f64))
+                        .sqrt()
+                        / 2.0);
+                Disk::new(Point::ORIGIN, half_diag)
+            }
+        }
+    }
+
+    /// Expected number of stations.
+    pub fn expected_count(&self) -> f64 {
+        match *self {
+            Placement::UniformDisk { n, .. } => n as f64,
+            Placement::PoissonDisk { density, radius } => {
+                density * std::f64::consts::PI * radius * radius
+            }
+            Placement::Grid { nx, ny, .. } => (nx * ny) as f64,
+            Placement::Clustered {
+                clusters,
+                per_cluster,
+                ..
+            } => (clusters * per_cluster) as f64,
+        }
+    }
+}
+
+/// Uniform point in a disk of radius `r` centered at the origin
+/// (inverse-CDF in radius: `r·√u`).
+pub fn uniform_in_disk(r: f64, rng: &mut Rng) -> Point {
+    let radius = r * rng.next_f64().sqrt();
+    let theta = rng.range_f64(0.0, std::f64::consts::TAU);
+    Point::new(radius * theta.cos(), radius * theta.sin())
+}
+
+/// Average density (stations/m²) of `points` over a disk region.
+pub fn density(points: &[Point], region: &Disk) -> f64 {
+    points.len() as f64 / region.area()
+}
+
+/// The paper's characteristic nearest-neighbour length `1/√ρ`: a disk of
+/// this radius around a station holds π ≈ 3 expected neighbours (§6).
+pub fn characteristic_length(rho: f64) -> f64 {
+    debug_assert!(rho > 0.0);
+    1.0 / rho.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::new(0xDECAF)
+    }
+
+    #[test]
+    fn uniform_disk_count_and_bounds() {
+        let p = Placement::UniformDisk {
+            n: 500,
+            radius: 100.0,
+        };
+        let pts = p.generate(&mut rng());
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| p.distance(Point::ORIGIN) <= 100.0));
+    }
+
+    #[test]
+    fn uniform_disk_is_area_uniform() {
+        // Half the points should land within r/√2 of the center.
+        let pts = Placement::UniformDisk {
+            n: 20_000,
+            radius: 1.0,
+        }
+        .generate(&mut rng());
+        let inner = pts
+            .iter()
+            .filter(|p| p.distance(Point::ORIGIN) <= 1.0 / 2f64.sqrt())
+            .count();
+        let frac = inner as f64 / pts.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn poisson_disk_count_near_expectation() {
+        let p = Placement::PoissonDisk {
+            density: 0.01,
+            radius: 100.0,
+        };
+        let expected = p.expected_count(); // ~314
+        let pts = p.generate(&mut rng());
+        let n = pts.len() as f64;
+        assert!((n - expected).abs() < 4.0 * expected.sqrt(), "n = {n}");
+    }
+
+    #[test]
+    fn grid_layout() {
+        let p = Placement::Grid {
+            nx: 3,
+            ny: 2,
+            spacing: 10.0,
+            jitter: 0.0,
+        };
+        let pts = p.generate(&mut rng());
+        assert_eq!(pts.len(), 6);
+        // Centered: corners at (±10, ±5).
+        assert!(pts.contains(&Point::new(-10.0, -5.0)));
+        assert!(pts.contains(&Point::new(10.0, 5.0)));
+    }
+
+    #[test]
+    fn grid_jitter_stays_bounded() {
+        let p = Placement::Grid {
+            nx: 5,
+            ny: 5,
+            spacing: 10.0,
+            jitter: 1.0,
+        };
+        let exact = Placement::Grid {
+            nx: 5,
+            ny: 5,
+            spacing: 10.0,
+            jitter: 0.0,
+        }
+        .generate(&mut rng());
+        let jittered = p.generate(&mut rng());
+        for (a, b) in exact.iter().zip(&jittered) {
+            assert!((a.x - b.x).abs() <= 1.0 && (a.y - b.y).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn clustered_count() {
+        let p = Placement::Clustered {
+            clusters: 4,
+            per_cluster: 25,
+            sigma: 5.0,
+            radius: 100.0,
+        };
+        assert_eq!(p.generate(&mut rng()).len(), 100);
+        assert_eq!(p.expected_count(), 100.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = Placement::UniformDisk {
+            n: 10,
+            radius: 50.0,
+        };
+        let a = p.generate(&mut Rng::new(1));
+        let b = p.generate(&mut Rng::new(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn characteristic_length_neighbour_count() {
+        // Disk of radius 1/√ρ has area π/ρ, so expected π neighbours.
+        let rho = 0.02;
+        let l = characteristic_length(rho);
+        let expected = rho * std::f64::consts::PI * l * l;
+        assert!((expected - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_helper() {
+        let region = Disk::new(Point::ORIGIN, 10.0);
+        let pts = vec![Point::ORIGIN; 314];
+        let rho = density(&pts, &region);
+        assert!((rho - 1.0).abs() < 0.01);
+    }
+}

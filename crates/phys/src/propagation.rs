@@ -1,0 +1,342 @@
+//! Propagation models: from transmit power to received power.
+//!
+//! The paper's §3.3 simplification makes each path a scalar: received power
+//! = transmitted power × `g_ij` with `g_ij ∝ 1/r²` (free-space loss). §3.5
+//! notes this *overestimates* distant interferers (obstructed paths) — a
+//! deliberately pessimistic calibration. §4 adds two refinements we also
+//! model: slight atmospheric attenuation (`e^{-αr}` factor) and the radio
+//! horizon, either of which tames the diverging interference integral.
+
+use crate::geom::Point;
+use crate::units::Gain;
+
+/// A propagation model: maps a transmitter/receiver position pair to a
+/// scalar power gain (the paper's `h_ij²`).
+pub trait Propagation {
+    /// Power gain of the path from `tx` to `rx`.
+    fn power_gain(&self, tx: Point, rx: Point) -> Gain;
+
+    /// Power gain at a given distance, where the model is isotropic.
+    fn gain_at_distance(&self, r: f64) -> Gain {
+        self.power_gain(Point::ORIGIN, Point::new(r, 0.0))
+    }
+}
+
+/// Free-space propagation: `g = k / max(r, r_min)²`.
+///
+/// `k` bundles antenna gains and wavelength (the paper's κ); `r_min` is a
+/// near-field clamp so co-located stations do not produce infinite gain
+/// (physically, the far-field formula is invalid below ~a wavelength).
+#[derive(Clone, Copy, Debug)]
+pub struct FreeSpace {
+    /// Antenna/wavelength constant κ (gain at 1 m, dimensionally m²).
+    pub k: f64,
+    /// Near-field clamp distance (m).
+    pub r_min: f64,
+}
+
+impl FreeSpace {
+    /// A model with κ = 1 and a 1 m near-field clamp — the paper's
+    /// relative-units convention.
+    pub fn unit() -> FreeSpace {
+        FreeSpace { k: 1.0, r_min: 1.0 }
+    }
+}
+
+impl Propagation for FreeSpace {
+    fn power_gain(&self, tx: Point, rx: Point) -> Gain {
+        let r = tx.distance(rx).max(self.r_min);
+        Gain(self.k / (r * r))
+    }
+}
+
+/// Power-law propagation with arbitrary exponent: `g = k / max(r, r_min)^α`.
+///
+/// α = 2 reproduces [`FreeSpace`]; urban ground-level paths are often
+/// modelled with α ∈ [3, 4]. Used by ablation experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLaw {
+    /// Gain constant.
+    pub k: f64,
+    /// Path-loss exponent α.
+    pub alpha: f64,
+    /// Near-field clamp distance (m).
+    pub r_min: f64,
+}
+
+impl Propagation for PowerLaw {
+    fn power_gain(&self, tx: Point, rx: Point) -> Gain {
+        let r = tx.distance(rx).max(self.r_min);
+        Gain(self.k / r.powf(self.alpha))
+    }
+}
+
+/// Free-space loss with exponential atmospheric attenuation:
+/// `g = k · e^{-a·r} / max(r, r_min)²`.
+///
+/// The paper (§4) observes that "the slightest bit of atmospheric
+/// attenuation ... would make the integral converge".
+#[derive(Clone, Copy, Debug)]
+pub struct Attenuated {
+    /// Gain constant.
+    pub k: f64,
+    /// Attenuation coefficient (1/m).
+    pub atten: f64,
+    /// Near-field clamp distance (m).
+    pub r_min: f64,
+}
+
+impl Propagation for Attenuated {
+    fn power_gain(&self, tx: Point, rx: Point) -> Gain {
+        let r = tx.distance(rx).max(self.r_min);
+        Gain(self.k * (-self.atten * r).exp() / (r * r))
+    }
+}
+
+/// Radio-horizon cutoff wrapping an inner model: beyond `horizon` meters the
+/// gain is exactly zero ("only stations that are not hidden over the horizon
+/// can contribute", §4).
+#[derive(Clone, Copy, Debug)]
+pub struct HorizonLimited<P> {
+    /// The within-horizon model.
+    pub inner: P,
+    /// Horizon distance (m).
+    pub horizon: f64,
+}
+
+impl<P: Propagation> Propagation for HorizonLimited<P> {
+    fn power_gain(&self, tx: Point, rx: Point) -> Gain {
+        if tx.distance(rx) > self.horizon {
+            Gain::ZERO
+        } else {
+            self.inner.power_gain(tx, rx)
+        }
+    }
+}
+
+/// Log-normal shadowing on top of an inner model: each (unordered) station
+/// pair gets a fixed, reciprocal shadow factor `10^(X/10)` with
+/// `X ~ N(0, sigma_db)`, drawn deterministically from the pair's positions
+/// and a seed.
+///
+/// §3.5 calibrates deliberately optimistically-pessimistic: "actual
+/// propagation in most cases will either be nearly equal to the free space
+/// propagation ... or will be attenuated (when there are obstructions)".
+/// Shadowing lets robustness experiments inject those obstructions. Note
+/// that shadowed gains are what stations *observe*, so routing and power
+/// control adapt to them automatically.
+#[derive(Clone, Copy, Debug)]
+pub struct Shadowed<P> {
+    /// The unshadowed model.
+    pub inner: P,
+    /// Standard deviation of the shadowing term in dB (4–12 dB typical).
+    pub sigma_db: f64,
+    /// Seed for the per-pair draw.
+    pub seed: u64,
+}
+
+impl<P: Propagation> Shadowed<P> {
+    fn shadow_db(&self, a: Point, b: Point) -> f64 {
+        // Symmetric, position-keyed hash: quantize coordinates to
+        // millimeters and combine order-independently.
+        let q = |p: Point| -> u64 {
+            let x = (p.x * 1000.0).round() as i64 as u64;
+            let y = (p.y * 1000.0).round() as i64 as u64;
+            parn_sim::rng::mix64(x ^ y.rotate_left(21))
+        };
+        let key = q(a) ^ q(b);
+        let h1 = parn_sim::rng::mix64(key ^ self.seed);
+        let h2 = parn_sim::rng::mix64(h1);
+        // Box–Muller from two hash-derived uniforms in (0, 1).
+        let u1 = (h1 >> 11) as f64 / (1u64 << 53) as f64;
+        let u2 = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+        let u1 = (1.0 - u1).max(1e-300);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        z * self.sigma_db
+    }
+}
+
+impl<P: Propagation> Propagation for Shadowed<P> {
+    fn power_gain(&self, tx: Point, rx: Point) -> Gain {
+        if tx == rx {
+            return self.inner.power_gain(tx, rx);
+        }
+        let base = self.inner.power_gain(tx, rx);
+        base * 10f64.powf(self.shadow_db(tx, rx) / 10.0)
+    }
+}
+
+/// Radio horizon distance for antennas at heights `h1`, `h2` (meters),
+/// using the standard 4/3-earth-radius model the paper cites:
+/// `d ≈ √(2·k·Re·h1) + √(2·k·Re·h2)` with `k = 4/3`.
+pub fn radio_horizon_m(h1: f64, h2: f64) -> f64 {
+    const EARTH_RADIUS_M: f64 = 6_371_000.0;
+    let ke = 4.0 / 3.0 * EARTH_RADIUS_M;
+    (2.0 * ke * h1).sqrt() + (2.0 * ke * h2).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::db;
+
+    #[test]
+    fn free_space_inverse_square() {
+        let m = FreeSpace::unit();
+        let g1 = m.gain_at_distance(10.0).value();
+        let g2 = m.gain_at_distance(20.0).value();
+        assert!((g1 / g2 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn six_db_per_doubling() {
+        // Paper §4: "free-space radio propagation falls off by a factor of
+        // four, or 6 dB, for each doubling in distance".
+        let m = FreeSpace::unit();
+        let drop = db(m.gain_at_distance(50.0).value())
+            - db(m.gain_at_distance(100.0).value());
+        assert!((drop - 6.0206).abs() < 1e-3, "drop {drop}");
+    }
+
+    #[test]
+    fn near_field_clamp() {
+        let m = FreeSpace { k: 1.0, r_min: 2.0 };
+        assert_eq!(m.gain_at_distance(0.0), m.gain_at_distance(2.0));
+        assert_eq!(m.gain_at_distance(1.0).value(), 0.25);
+    }
+
+    #[test]
+    fn power_law_matches_free_space_at_alpha2() {
+        let fs = FreeSpace::unit();
+        let pl = PowerLaw {
+            k: 1.0,
+            alpha: 2.0,
+            r_min: 1.0,
+        };
+        for r in [1.0, 5.0, 33.0, 1000.0] {
+            assert!(
+                (fs.gain_at_distance(r).value() - pl.gain_at_distance(r).value())
+                    .abs()
+                    < 1e-15
+            );
+        }
+    }
+
+    #[test]
+    fn power_law_alpha4_steeper() {
+        let pl = PowerLaw {
+            k: 1.0,
+            alpha: 4.0,
+            r_min: 1.0,
+        };
+        let g1 = pl.gain_at_distance(10.0).value();
+        let g2 = pl.gain_at_distance(20.0).value();
+        assert!((g1 / g2 - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attenuated_below_free_space() {
+        let fs = FreeSpace::unit();
+        let at = Attenuated {
+            k: 1.0,
+            atten: 0.001,
+            r_min: 1.0,
+        };
+        let r = 1000.0;
+        let ratio = at.gain_at_distance(r).value() / fs.gain_at_distance(r).value();
+        assert!((ratio - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizon_cutoff() {
+        let m = HorizonLimited {
+            inner: FreeSpace::unit(),
+            horizon: 100.0,
+        };
+        assert!(m.gain_at_distance(99.0).value() > 0.0);
+        assert_eq!(m.gain_at_distance(101.0), Gain::ZERO);
+    }
+
+    #[test]
+    fn radio_horizon_plausible() {
+        // 10 m antennas see each other out to roughly 26 km.
+        let d = radio_horizon_m(10.0, 10.0);
+        assert!((25_000.0..28_000.0).contains(&d), "d = {d}");
+        // Higher antennas see farther.
+        assert!(radio_horizon_m(100.0, 100.0) > d);
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_and_reciprocal() {
+        let m = Shadowed {
+            inner: FreeSpace::unit(),
+            sigma_db: 8.0,
+            seed: 42,
+        };
+        let a = Point::new(3.0, 4.0);
+        let b = Point::new(50.0, -20.0);
+        assert_eq!(m.power_gain(a, b), m.power_gain(a, b));
+        assert_eq!(m.power_gain(a, b), m.power_gain(b, a), "not reciprocal");
+    }
+
+    #[test]
+    fn shadowing_statistics() {
+        let m = Shadowed {
+            inner: FreeSpace::unit(),
+            sigma_db: 8.0,
+            seed: 7,
+        };
+        let fs = FreeSpace::unit();
+        let mut devs = Vec::new();
+        for i in 0..2000 {
+            let a = Point::new(i as f64 * 1.7, 0.0);
+            let b = Point::new(i as f64 * 1.7, 100.0);
+            let ratio = m.power_gain(a, b).value() / fs.power_gain(a, b).value();
+            devs.push(10.0 * ratio.log10());
+        }
+        let mean = devs.iter().sum::<f64>() / devs.len() as f64;
+        let var =
+            devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / devs.len() as f64;
+        assert!(mean.abs() < 0.8, "mean {mean} dB");
+        assert!((var.sqrt() - 8.0).abs() < 0.5, "sd {} dB", var.sqrt());
+    }
+
+    #[test]
+    fn shadowing_seed_changes_draw() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let m1 = Shadowed {
+            inner: FreeSpace::unit(),
+            sigma_db: 8.0,
+            seed: 1,
+        };
+        let m2 = Shadowed {
+            inner: FreeSpace::unit(),
+            sigma_db: 8.0,
+            seed: 2,
+        };
+        assert_ne!(m1.power_gain(a, b), m2.power_gain(a, b));
+    }
+
+    #[test]
+    fn zero_sigma_is_transparent() {
+        let m = Shadowed {
+            inner: FreeSpace::unit(),
+            sigma_db: 0.0,
+            seed: 9,
+        };
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(30.0, 40.0);
+        let g = m.power_gain(a, b).value();
+        let f = FreeSpace::unit().power_gain(a, b).value();
+        assert!((g - f).abs() / f < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_paths() {
+        let m = FreeSpace::unit();
+        let a = Point::new(3.0, -7.0);
+        let b = Point::new(-20.0, 14.0);
+        assert_eq!(m.power_gain(a, b), m.power_gain(b, a));
+    }
+}

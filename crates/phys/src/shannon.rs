@@ -1,0 +1,200 @@
+//! Shannon capacity and the paper's reception criterion.
+//!
+//! §3.4: a packet from `k` is successfully received at `i` iff, for the
+//! whole reception,
+//!
+//! ```text
+//! S/N ≥ β · (2^(C/W) − 1)
+//! ```
+//!
+//! where `C` is the *design rate* the stations attempt, `W` the signal
+//! bandwidth, and `β > 1` (≈ 3, i.e. ~5 dB) the margin between the Shannon
+//! bound and what a practical modem achieves.
+
+use crate::units::Db;
+
+/// Shannon capacity `C = W·log₂(1 + S/N)` in bit/s for bandwidth `w_hz`
+/// and linear SNR `snr`.
+pub fn capacity_bps(w_hz: f64, snr: f64) -> f64 {
+    debug_assert!(w_hz >= 0.0 && snr >= -1.0);
+    w_hz * (1.0 + snr).log2()
+}
+
+/// Spectral efficiency `C/W` in bit/s/Hz at linear SNR `snr`.
+pub fn spectral_efficiency(snr: f64) -> f64 {
+    (1.0 + snr).log2()
+}
+
+/// The minimum SNR that Shannon allows for rate `rate_bps` in bandwidth
+/// `w_hz`: `2^(C/W) − 1`.
+pub fn min_snr_for_rate(rate_bps: f64, w_hz: f64) -> f64 {
+    debug_assert!(w_hz > 0.0);
+    2f64.powf(rate_bps / w_hz) - 1.0
+}
+
+/// Reception parameters: design rate, bandwidth, margin.
+///
+/// ```
+/// use parn_phys::ReceptionCriterion;
+/// // 100 kb/s spread over 10 MHz: 20 dB of processing gain lets the
+/// // signal sit ~16.6 dB below the interference and still decode.
+/// let c = ReceptionCriterion::with_5db_margin(1e5, 1e7);
+/// assert!((c.processing_gain_db().value() - 20.0).abs() < 1e-9);
+/// assert!(c.passes(0.05) && !c.passes(0.02));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ReceptionCriterion {
+    /// Design data rate `C` (bit/s).
+    pub rate_bps: f64,
+    /// Signal bandwidth `W` (Hz). `W/C` ≫ 1 is the spread-spectrum regime.
+    pub bandwidth_hz: f64,
+    /// Margin β (linear ratio > 1; the paper suggests ≈ 3, i.e. 5 dB).
+    pub margin: f64,
+}
+
+impl ReceptionCriterion {
+    /// Criterion with the paper's 5 dB margin.
+    pub fn with_5db_margin(rate_bps: f64, bandwidth_hz: f64) -> ReceptionCriterion {
+        ReceptionCriterion {
+            rate_bps,
+            bandwidth_hz,
+            margin: Db(5.0).to_ratio(),
+        }
+    }
+
+    /// The SINR threshold θ: reception succeeds iff SINR ≥ θ throughout.
+    pub fn threshold(&self) -> f64 {
+        self.margin * min_snr_for_rate(self.rate_bps, self.bandwidth_hz)
+    }
+
+    /// The threshold in decibels.
+    pub fn threshold_db(&self) -> Db {
+        Db::from_ratio(self.threshold())
+    }
+
+    /// Processing gain `W/C` (linear): how far below the noise the signal
+    /// may sit while the despread data still clears Shannon.
+    pub fn processing_gain(&self) -> f64 {
+        self.bandwidth_hz / self.rate_bps
+    }
+
+    /// Processing gain in dB. The paper determines "the proper amount of
+    /// processing gain ... in the range of 20 to 25 dB" (§6).
+    pub fn processing_gain_db(&self) -> Db {
+        Db::from_ratio(self.processing_gain())
+    }
+
+    /// Whether a measured SINR passes the criterion.
+    #[inline]
+    pub fn passes(&self, sinr: f64) -> bool {
+        sinr >= self.threshold()
+    }
+}
+
+/// Design helper: the §6 processing-gain budget. Given the din-limited SNR
+/// at the characteristic neighbour distance, a detection margin, and a
+/// range margin for reaching 2× farther (−6 dB), return the required
+/// processing gain in dB.
+pub fn required_processing_gain_db(
+    din_snr_db: f64,
+    detection_margin_db: f64,
+    range_margin_db: f64,
+) -> f64 {
+    // The despread SNR must be ≥ detection margin while the RF SNR is
+    // din_snr − range_margin; processing gain makes up the difference.
+    detection_margin_db + range_margin_db - din_snr_db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_basics() {
+        // SNR = 1 doubles nothing: C/W = 1 bit/s/Hz.
+        assert!((spectral_efficiency(1.0) - 1.0).abs() < 1e-12);
+        assert!((capacity_bps(1000.0, 3.0) - 2000.0).abs() < 1e-9);
+        assert_eq!(capacity_bps(1000.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn paper_capacity_at_minus_20db() {
+        // §4: "with a signal-to-noise ratio of one part in one hundred,
+        // C = W log2(1.01)" — about 14 bit/s per kHz.
+        let eff = spectral_efficiency(0.01);
+        assert!((eff * 1000.0 - 14.35).abs() < 0.01, "got {}", eff * 1000.0);
+    }
+
+    #[test]
+    fn paper_capacity_at_quarter_duty() {
+        // §4: at η = 0.25 the SNR is 4× better (−14 dB): ≈ 56 bit/s/kHz.
+        let eff = spectral_efficiency(0.04);
+        assert!((eff * 1000.0 - 56.6).abs() < 0.1, "got {}", eff * 1000.0);
+    }
+
+    #[test]
+    fn low_snr_capacity_is_linear() {
+        // §4 footnote: log2(1+x) ≈ 1.44·x for x ≪ 1 — capacity linear in
+        // SNR, which is why halving duty cycle is throughput-neutral.
+        let x = 0.003;
+        let ratio = spectral_efficiency(x) / (x / std::f64::consts::LN_2);
+        assert!((ratio - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn min_snr_inverts_capacity() {
+        let w = 1e6;
+        let rate = 2.5e5;
+        let snr = min_snr_for_rate(rate, w);
+        assert!((capacity_bps(w, snr) - rate).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_includes_margin() {
+        let c = ReceptionCriterion {
+            rate_bps: 1e5,
+            bandwidth_hz: 1e7,
+            margin: 3.0,
+        };
+        let bare = min_snr_for_rate(1e5, 1e7);
+        assert!((c.threshold() - 3.0 * bare).abs() < 1e-15);
+        assert!(c.passes(c.threshold()));
+        assert!(!c.passes(c.threshold() * 0.999));
+    }
+
+    #[test]
+    fn five_db_margin_is_about_three() {
+        let c = ReceptionCriterion::with_5db_margin(1e5, 1e7);
+        assert!((c.margin - 3.162).abs() < 1e-3);
+    }
+
+    #[test]
+    fn processing_gain_20_to_25_db_regime() {
+        // A 100:1 spread is 20 dB; 316:1 is 25 dB.
+        let c20 = ReceptionCriterion::with_5db_margin(1e5, 1e7);
+        assert!((c20.processing_gain_db().value() - 20.0).abs() < 1e-9);
+        let c25 = ReceptionCriterion::with_5db_margin(1e5, 3.162e7);
+        assert!((c25.processing_gain_db().value() - 25.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn spread_signal_decodes_below_noise() {
+        // With 20 dB of processing gain and a 5 dB margin, reception works
+        // down to about -16.6 dB SINR: the signal is *below* the din.
+        let c = ReceptionCriterion::with_5db_margin(1e5, 1e7);
+        let th_db = c.threshold_db().value();
+        assert!((-17.0..-16.0).contains(&th_db), "threshold {th_db} dB");
+        assert!(c.passes(0.05)); // -13 dB passes
+        assert!(!c.passes(0.02)); // -17 dB fails
+    }
+
+    #[test]
+    fn gain_budget_matches_paper() {
+        // §6: din SNR −10..−15 dB (reasonable duty cycles), 5 dB detection
+        // headroom, 6 dB for doubled range ⇒ 21..26 dB ≈ "20 to 25 dB".
+        let lo = required_processing_gain_db(-10.0, 5.0, 6.0);
+        let hi = required_processing_gain_db(-15.0, 5.0, 6.0);
+        assert!((21.0 - lo).abs() < 1e-9);
+        assert!((26.0 - hi).abs() < 1e-9);
+    }
+}

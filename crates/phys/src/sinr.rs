@@ -1,0 +1,544 @@
+//! Incremental SINR tracking for in-flight receptions.
+//!
+//! The paper's criterion (§3.4) is that the signal-to-noise ratio must stay
+//! above the threshold *for the entire duration* of a reception, where the
+//! "noise" is thermal noise plus the power sum of every other concurrent
+//! transmission (Eq. 5–6). The tracker maintains the set of active
+//! transmissions and, for every in-flight reception, the running
+//! interference sum; each transmission start/end re-evaluates every active
+//! reception, so a reception is marked failed at the first instant its SINR
+//! dips below threshold.
+//!
+//! A receiver that transmits while receiving is modelled with a huge
+//! self-interference gain — "no feasible amount of processing gain ... can
+//! achieve reception while the local transmitter is operating" (§5, Type 3).
+
+use crate::gains::{GainMatrix, StationId};
+use crate::units::PowerW;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Handle to an active transmission.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TxId(pub u64);
+
+/// Handle to an active reception.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RxId(pub u64);
+
+/// An on-air transmission.
+#[derive(Clone, Debug)]
+pub struct ActiveTransmission {
+    /// Transmitting station.
+    pub station: StationId,
+    /// Transmit power.
+    pub power: PowerW,
+    /// The station this transmission is addressed to (`None` for
+    /// broadcast/control emissions).
+    pub intended_rx: Option<StationId>,
+}
+
+/// One interferer's contribution at the moment a reception first failed.
+#[derive(Clone, Debug)]
+pub struct Blame {
+    /// Interfering transmitter.
+    pub station: StationId,
+    /// Its intended receiver.
+    pub intended_rx: Option<StationId>,
+    /// Received interference power it contributed.
+    pub contribution: PowerW,
+}
+
+/// Final report for a completed reception.
+#[derive(Clone, Debug)]
+pub struct ReceptionReport {
+    /// Receiving station.
+    pub rx: StationId,
+    /// Sending station.
+    pub src: StationId,
+    /// Whether SINR stayed at or above threshold throughout.
+    pub success: bool,
+    /// The lowest SINR observed during the reception.
+    pub min_sinr: f64,
+    /// Interferer snapshot at first failure (empty on success).
+    pub blame: Vec<Blame>,
+    /// Total interference-plus-noise at the failure instant (zero on
+    /// success) — the denominator for judging which interferers were
+    /// individually significant.
+    pub interference_at_failure: PowerW,
+}
+
+#[derive(Clone, Debug)]
+struct ActiveReception {
+    rx: StationId,
+    src_tx: TxId,
+    src_station: StationId,
+    signal: PowerW,
+    interference: PowerW,
+    threshold: f64,
+    min_sinr: f64,
+    failed: bool,
+    blame: Vec<Blame>,
+    interference_at_failure: PowerW,
+}
+
+/// The interference bookkeeper.
+#[derive(Clone, Debug)]
+pub struct SinrTracker {
+    gains: Arc<GainMatrix>,
+    thermal: PowerW,
+    self_gain: f64,
+    active_tx: BTreeMap<u64, ActiveTransmission>,
+    receptions: BTreeMap<u64, ActiveReception>,
+    next_tx: u64,
+    next_rx: u64,
+    /// Successive-interference-cancellation depth (0 = plain receivers).
+    sic_depth: usize,
+}
+
+impl SinrTracker {
+    /// Create a tracker over a gain matrix.
+    ///
+    /// * `thermal` — constant noise floor added at every receiver. The
+    ///   paper argues interference dominates it at scale (§3.4), but it
+    ///   keeps SINR finite in empty networks.
+    /// * `self_gain` — effective power gain of a station's transmitter into
+    ///   its own receiver (duplexer leakage); enormous by construction.
+    pub fn new(gains: Arc<GainMatrix>, thermal: PowerW, self_gain: f64) -> SinrTracker {
+        SinrTracker {
+            gains,
+            thermal,
+            self_gain,
+            active_tx: BTreeMap::new(),
+            receptions: BTreeMap::new(),
+            next_tx: 0,
+            next_rx: 0,
+            sic_depth: 0,
+        }
+    }
+
+    /// Enable successive interference cancellation: receivers may decode
+    /// and subtract up to `depth` of the strongest interferers (§3.4
+    /// footnote 2). Costs a full interference recomputation per
+    /// re-evaluation, so keep `depth` small.
+    pub fn with_sic(mut self, depth: usize) -> SinrTracker {
+        self.sic_depth = depth;
+        self
+    }
+
+    /// The gain matrix the tracker uses.
+    pub fn gains(&self) -> &GainMatrix {
+        &self.gains
+    }
+
+    /// Received power at `rx` from a transmission by `tx_station` at `power`.
+    fn received_power(&self, rx: StationId, tx_station: StationId, power: PowerW) -> PowerW {
+        if tx_station == rx {
+            power * self.self_gain
+        } else {
+            self.gains.gain(rx, tx_station).apply(power)
+        }
+    }
+
+    /// Total interference-plus-noise currently seen at `rx`, excluding the
+    /// transmission `exclude` (if any). This is Eq. 5 evaluated now.
+    pub fn interference_at(&self, rx: StationId, exclude: Option<TxId>) -> PowerW {
+        let mut total = self.thermal;
+        for (&id, tx) in &self.active_tx {
+            if Some(TxId(id)) == exclude {
+                continue;
+            }
+            total += self.received_power(rx, tx.station, tx.power);
+        }
+        total
+    }
+
+    /// Total received power at `rx` from all active transmissions plus
+    /// thermal noise (what a CSMA carrier-sense measurement sees).
+    pub fn sensed_power(&self, rx: StationId) -> PowerW {
+        self.interference_at(rx, None)
+    }
+
+    /// Number of active transmissions.
+    pub fn active_transmissions(&self) -> usize {
+        self.active_tx.len()
+    }
+
+    /// Number of in-flight receptions.
+    pub fn active_receptions(&self) -> usize {
+        self.receptions.len()
+    }
+
+    /// Begin a transmission. All in-flight receptions immediately see the
+    /// extra interference.
+    pub fn start_transmission(
+        &mut self,
+        station: StationId,
+        power: PowerW,
+        intended_rx: Option<StationId>,
+    ) -> TxId {
+        debug_assert!(power.value() > 0.0, "zero-power transmission");
+        let id = self.next_tx;
+        self.next_tx += 1;
+        // Insert first so that blame snapshots taken during re-evaluation
+        // include this transmission (a fresh id can never be a reception's
+        // own source).
+        self.active_tx.insert(
+            id,
+            ActiveTransmission {
+                station,
+                power,
+                intended_rx,
+            },
+        );
+        let deltas: Vec<(u64, PowerW)> = self
+            .receptions
+            .iter()
+            .map(|(&rid, r)| (rid, self.received_power(r.rx, station, power)))
+            .collect();
+        for (rid, d) in deltas {
+            self.receptions
+                .get_mut(&rid)
+                .expect("reception vanished")
+                .interference += d;
+            self.reevaluate(rid);
+        }
+        TxId(id)
+    }
+
+    /// End a transmission. Interference drops for everyone else.
+    pub fn end_transmission(&mut self, id: TxId) {
+        let tx = self
+            .active_tx
+            .remove(&id.0)
+            .expect("ending unknown transmission");
+        let deltas: Vec<(u64, PowerW)> = self
+            .receptions
+            .iter()
+            .filter(|(_, r)| r.src_tx != id)
+            .map(|(&rid, r)| (rid, self.received_power(r.rx, tx.station, tx.power)))
+            .collect();
+        for (rid, d) in deltas {
+            let r = self.receptions.get_mut(&rid).expect("reception vanished");
+            r.interference -= d;
+            // Numerical guard: the running sum may drift a hair negative.
+            if r.interference.value() < 0.0 {
+                r.interference = PowerW::ZERO;
+            }
+            // Interference only went down: no failure can be triggered, but
+            // min_sinr bookkeeping stays consistent on the next update.
+        }
+    }
+
+    /// Begin tracking the reception at `rx` of the signal carried by
+    /// transmission `src`. `threshold` is the SINR the reception must keep.
+    ///
+    /// Panics if `src` is not an active transmission.
+    pub fn begin_reception(&mut self, rx: StationId, src: TxId, threshold: f64) -> RxId {
+        let tx = self
+            .active_tx
+            .get(&src.0)
+            .expect("receiving from unknown transmission")
+            .clone();
+        let signal = self.received_power(rx, tx.station, tx.power);
+        let interference = self.interference_at(rx, Some(src));
+        let id = self.next_rx;
+        self.next_rx += 1;
+        self.receptions.insert(
+            id,
+            ActiveReception {
+                rx,
+                src_tx: src,
+                src_station: tx.station,
+                signal,
+                interference,
+                threshold,
+                min_sinr: f64::INFINITY,
+                failed: false,
+                blame: Vec::new(),
+                interference_at_failure: PowerW::ZERO,
+            },
+        );
+        self.reevaluate(id);
+        RxId(id)
+    }
+
+    /// Finish a reception and report its outcome.
+    pub fn complete_reception(&mut self, id: RxId) -> ReceptionReport {
+        // Final re-evaluation so min_sinr reflects the closing state.
+        self.reevaluate(id.0);
+        let r = self
+            .receptions
+            .remove(&id.0)
+            .expect("completing unknown reception");
+        ReceptionReport {
+            rx: r.rx,
+            src: r.src_station,
+            success: !r.failed,
+            min_sinr: r.min_sinr,
+            blame: r.blame,
+            interference_at_failure: r.interference_at_failure,
+        }
+    }
+
+    /// Abort a reception without a report (e.g. the simulation is tearing
+    /// down).
+    pub fn abort_reception(&mut self, id: RxId) {
+        self.receptions.remove(&id.0);
+    }
+
+    /// Current SINR of a reception.
+    pub fn current_sinr(&self, id: RxId) -> f64 {
+        let r = self.receptions.get(&id.0).expect("unknown reception");
+        Self::sinr_of(r)
+    }
+
+    fn sinr_of(r: &ActiveReception) -> f64 {
+        if r.interference.value() <= 0.0 {
+            f64::INFINITY
+        } else {
+            r.signal.value() / r.interference.value()
+        }
+    }
+
+    /// SINR of a reception after SIC, recomputed from the full active set.
+    fn sinr_with_sic(&self, r: &ActiveReception) -> f64 {
+        let contributions: Vec<f64> = self
+            .active_tx
+            .iter()
+            .filter(|(&id, _)| TxId(id) != r.src_tx)
+            .map(|(_, tx)| self.received_power(r.rx, tx.station, tx.power).value())
+            .collect();
+        crate::sic::effective_sinr(
+            r.signal.value(),
+            self.thermal.value(),
+            &contributions,
+            self.sic_depth,
+            r.threshold,
+        )
+    }
+
+    /// Update min_sinr and failure state; snapshot blame on first failure.
+    fn reevaluate(&mut self, rid: u64) {
+        let sic_sinr = if self.sic_depth > 0 {
+            let r = self.receptions.get(&rid).expect("unknown reception");
+            Some(self.sinr_with_sic(r))
+        } else {
+            None
+        };
+        let (sinr, newly_failed, rx, src_tx) = {
+            let r = self.receptions.get_mut(&rid).expect("unknown reception");
+            let sinr = sic_sinr.unwrap_or_else(|| Self::sinr_of(r));
+            r.min_sinr = r.min_sinr.min(sinr);
+            let newly_failed = !r.failed && sinr < r.threshold;
+            if newly_failed {
+                r.failed = true;
+            }
+            (sinr, newly_failed, r.rx, r.src_tx)
+        };
+        let _ = sinr;
+        if newly_failed {
+            let blame: Vec<Blame> = self
+                .active_tx
+                .iter()
+                .filter(|(&id, _)| TxId(id) != src_tx)
+                .map(|(_, tx)| Blame {
+                    station: tx.station,
+                    intended_rx: tx.intended_rx,
+                    contribution: self.received_power(rx, tx.station, tx.power),
+                })
+                .filter(|b| b.contribution.value() > 0.0)
+                .collect();
+            let r = self.receptions.get_mut(&rid).expect("unknown reception");
+            r.interference_at_failure = r.interference;
+            r.blame = blame;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Point;
+    use crate::propagation::FreeSpace;
+
+    /// Three stations on a line: 0 --10m-- 1 --20m-- 2.
+    fn tracker() -> SinrTracker {
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(30.0, 0.0),
+        ];
+        let gm = GainMatrix::build(&pos, &FreeSpace::unit());
+        SinrTracker::new(Arc::new(gm), PowerW(1e-9), 1e12)
+    }
+
+    #[test]
+    fn clean_reception_succeeds() {
+        let mut t = tracker();
+        let tx = t.start_transmission(0, PowerW(1.0), Some(1));
+        let rx = t.begin_reception(1, tx, 0.01);
+        let rep = t.complete_reception(rx);
+        t.end_transmission(tx);
+        assert!(rep.success);
+        assert!(rep.min_sinr > 1e5); // 0.01 W signal over ~1e-9 W noise
+        assert!(rep.blame.is_empty());
+        assert_eq!((rep.rx, rep.src), (1, 0));
+    }
+
+    #[test]
+    fn interference_sums_eq5() {
+        let mut t = tracker();
+        let _a = t.start_transmission(0, PowerW(1.0), None);
+        let _b = t.start_transmission(2, PowerW(4.0), None);
+        // At station 1: 1.0/100 + 4.0/400 + thermal.
+        let n = t.interference_at(1, None);
+        assert!((n.value() - (0.01 + 0.01 + 1e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exclusion_removes_source() {
+        let mut t = tracker();
+        let a = t.start_transmission(0, PowerW(1.0), None);
+        let n = t.interference_at(1, Some(a));
+        assert!((n.value() - 1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn strong_interferer_kills_reception() {
+        let mut t = tracker();
+        let tx = t.start_transmission(2, PowerW(1.0), Some(1));
+        // Signal at 1: 1/400 = 0.0025.
+        let rx = t.begin_reception(1, tx, 0.1);
+        // Station 0 fires up next door: interference 1/100 = 0.01,
+        // SINR = 0.25 — still above 0.1. Then it raises power.
+        let i1 = t.start_transmission(0, PowerW(1.0), None);
+        assert!(t.current_sinr(rx) > 0.1);
+        let i2 = t.start_transmission(0, PowerW(10.0), None);
+        assert!(t.current_sinr(rx) < 0.1);
+        t.end_transmission(i1);
+        t.end_transmission(i2);
+        // Interference gone, but the dip already doomed the packet.
+        let rep = t.complete_reception(rx);
+        t.end_transmission(tx);
+        assert!(!rep.success);
+        assert!(rep.min_sinr < 0.1);
+        // Blame snapshot holds both interferers from the failure moment.
+        assert_eq!(rep.blame.len(), 2);
+        assert!(rep.blame.iter().all(|b| b.station == 0));
+    }
+
+    #[test]
+    fn late_interferer_after_end_is_harmless() {
+        let mut t = tracker();
+        let tx = t.start_transmission(0, PowerW(1.0), Some(1));
+        let rx = t.begin_reception(1, tx, 0.1);
+        let rep = t.complete_reception(rx);
+        assert!(rep.success);
+        // Interference arriving after completion doesn't matter.
+        let i = t.start_transmission(2, PowerW(100.0), None);
+        t.end_transmission(i);
+        t.end_transmission(tx);
+    }
+
+    #[test]
+    fn self_transmission_is_fatal_type3() {
+        let mut t = tracker();
+        let tx = t.start_transmission(0, PowerW(1.0), Some(1));
+        let rx = t.begin_reception(1, tx, 0.01);
+        // Station 1 transmits while receiving.
+        let own = t.start_transmission(1, PowerW(1.0), Some(2));
+        assert!(t.current_sinr(rx) < 1e-9);
+        t.end_transmission(own);
+        let rep = t.complete_reception(rx);
+        t.end_transmission(tx);
+        assert!(!rep.success);
+        let self_blame: Vec<_> =
+            rep.blame.iter().filter(|b| b.station == 1).collect();
+        assert_eq!(self_blame.len(), 1);
+        assert!(self_blame[0].contribution.value() > 1e6);
+    }
+
+    #[test]
+    fn two_receptions_at_one_station_type2_with_headroom() {
+        // Two senders to one receiver: with spread spectrum both can
+        // survive if thresholds are low (multiple despreading channels).
+        let mut t = tracker();
+        let ta = t.start_transmission(0, PowerW(1.0), Some(1)); // 0.01 at 1
+        let tb = t.start_transmission(2, PowerW(4.0), Some(1)); // 0.01 at 1
+        let ra = t.begin_reception(1, ta, 0.5);
+        let rb = t.begin_reception(1, tb, 0.5);
+        // Each sees the other as interference: SINR ≈ 1.0 > 0.5.
+        assert!((t.current_sinr(ra) - 1.0).abs() < 1e-3);
+        assert!((t.current_sinr(rb) - 1.0).abs() < 1e-3);
+        let rep_a = t.complete_reception(ra);
+        let rep_b = t.complete_reception(rb);
+        t.end_transmission(ta);
+        t.end_transmission(tb);
+        assert!(rep_a.success && rep_b.success);
+    }
+
+    #[test]
+    fn two_receptions_fail_with_tight_threshold() {
+        let mut t = tracker();
+        let ta = t.start_transmission(0, PowerW(1.0), Some(1));
+        let tb = t.start_transmission(2, PowerW(4.0), Some(1));
+        let ra = t.begin_reception(1, ta, 2.0);
+        let rb = t.begin_reception(1, tb, 2.0);
+        let rep_a = t.complete_reception(ra);
+        let rep_b = t.complete_reception(rb);
+        t.end_transmission(ta);
+        t.end_transmission(tb);
+        assert!(!rep_a.success && !rep_b.success);
+        // Each blames the other sender, whose intended_rx is station 1 —
+        // the Type 2 signature.
+        assert_eq!(rep_a.blame.len(), 1);
+        assert_eq!(rep_a.blame[0].intended_rx, Some(1));
+        assert_eq!(rep_b.blame[0].station, 0);
+    }
+
+    #[test]
+    fn min_sinr_tracks_worst_moment() {
+        let mut t = tracker();
+        let tx = t.start_transmission(0, PowerW(1.0), Some(1));
+        let rx = t.begin_reception(1, tx, 1e-6);
+        let i = t.start_transmission(2, PowerW(400.0), None); // interference 1.0 at station 1
+        t.end_transmission(i);
+        let rep = t.complete_reception(rx);
+        t.end_transmission(tx);
+        assert!(rep.success); // threshold was tiny
+        // Worst moment: signal 0.01 over interference ~1.0.
+        assert!((rep.min_sinr - 0.01).abs() < 1e-4, "min {}", rep.min_sinr);
+    }
+
+    #[test]
+    fn sensed_power_for_carrier_sense() {
+        let mut t = tracker();
+        assert!((t.sensed_power(1).value() - 1e-9).abs() < 1e-18);
+        let tx = t.start_transmission(0, PowerW(1.0), None);
+        assert!(t.sensed_power(1).value() > 0.009);
+        t.end_transmission(tx);
+        assert!((t.sensed_power(1).value() - 1e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_counters() {
+        let mut t = tracker();
+        assert_eq!((t.active_transmissions(), t.active_receptions()), (0, 0));
+        let tx = t.start_transmission(0, PowerW(1.0), Some(1));
+        let rx = t.begin_reception(1, tx, 0.01);
+        assert_eq!((t.active_transmissions(), t.active_receptions()), (1, 1));
+        t.abort_reception(rx);
+        t.end_transmission(tx);
+        assert_eq!((t.active_transmissions(), t.active_receptions()), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ending unknown transmission")]
+    fn double_end_panics() {
+        let mut t = tracker();
+        let tx = t.start_transmission(0, PowerW(1.0), None);
+        t.end_transmission(tx);
+        t.end_transmission(tx);
+    }
+}

@@ -1,0 +1,295 @@
+//! Physical quantity newtypes: decibels, power, power gain, SNR.
+//!
+//! The paper works interchangeably in linear power ratios and decibels
+//! ("the power levels add, but not the logarithms of the power levels",
+//! §7.3). These wrappers keep the two domains from being mixed up.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A value in decibels (a *ratio* in log domain, not an absolute power).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Db(pub f64);
+
+impl Db {
+    /// Convert a linear power ratio to decibels.
+    pub fn from_ratio(ratio: f64) -> Db {
+        debug_assert!(ratio > 0.0, "dB of non-positive ratio");
+        Db(10.0 * ratio.log10())
+    }
+
+    /// Convert back to a linear power ratio.
+    pub fn to_ratio(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// The raw dB value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, o: Db) -> Db {
+        Db(self.0 + o.0)
+    }
+}
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, o: Db) -> Db {
+        Db(self.0 - o.0)
+    }
+}
+impl AddAssign for Db {
+    fn add_assign(&mut self, o: Db) {
+        self.0 += o.0;
+    }
+}
+impl SubAssign for Db {
+    fn sub_assign(&mut self, o: Db) {
+        self.0 -= o.0;
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+/// An absolute power in watts.
+///
+/// The simulation mostly uses *relative* units (unit transmit power, as the
+/// paper's analysis does), so "watts" is a convention, not a calibration.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct PowerW(pub f64);
+
+impl PowerW {
+    /// Zero power.
+    pub const ZERO: PowerW = PowerW(0.0);
+
+    /// The raw value in watts.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Ratio of two powers (e.g. S/N). Panics in debug if the denominator
+    /// is non-positive.
+    pub fn ratio_to(self, denom: PowerW) -> f64 {
+        debug_assert!(denom.0 > 0.0, "ratio to non-positive power");
+        self.0 / denom.0
+    }
+
+    /// True when the power is (numerically) nothing.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Add for PowerW {
+    type Output = PowerW;
+    fn add(self, o: PowerW) -> PowerW {
+        PowerW(self.0 + o.0)
+    }
+}
+impl Sub for PowerW {
+    type Output = PowerW;
+    fn sub(self, o: PowerW) -> PowerW {
+        PowerW(self.0 - o.0)
+    }
+}
+impl AddAssign for PowerW {
+    fn add_assign(&mut self, o: PowerW) {
+        self.0 += o.0;
+    }
+}
+impl SubAssign for PowerW {
+    fn sub_assign(&mut self, o: PowerW) {
+        self.0 -= o.0;
+    }
+}
+impl Mul<f64> for PowerW {
+    type Output = PowerW;
+    fn mul(self, k: f64) -> PowerW {
+        PowerW(self.0 * k)
+    }
+}
+impl Div<f64> for PowerW {
+    type Output = PowerW;
+    fn div(self, k: f64) -> PowerW {
+        PowerW(self.0 / k)
+    }
+}
+impl Sum for PowerW {
+    fn sum<I: Iterator<Item = PowerW>>(iter: I) -> PowerW {
+        PowerW(iter.map(|p| p.0).sum())
+    }
+}
+
+impl fmt::Display for PowerW {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3e} W", self.0)
+    }
+}
+
+/// A dimensionless *power* gain (the paper's `h_ij²`): received power =
+/// transmitted power × gain. Always in `[0, +∞)`; for radio paths, `< 1`.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Gain(pub f64);
+
+impl Gain {
+    /// No path at all.
+    pub const ZERO: Gain = Gain(0.0);
+    /// Lossless (identity) path.
+    pub const UNITY: Gain = Gain(1.0);
+
+    /// The raw linear power-gain value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Express as decibels (negative for losses).
+    pub fn to_db(self) -> Db {
+        Db::from_ratio(self.0)
+    }
+
+    /// Construct from decibels.
+    pub fn from_db(db: Db) -> Gain {
+        Gain(db.to_ratio())
+    }
+
+    /// Apply the gain to a transmit power.
+    pub fn apply(self, p: PowerW) -> PowerW {
+        PowerW(self.0 * p.0)
+    }
+
+    /// The energy cost of using this path with power control: the reciprocal
+    /// gain, proportional to the transmit power needed to deliver a fixed
+    /// received power (paper §6.2).
+    pub fn energy_cost(self) -> f64 {
+        debug_assert!(self.0 > 0.0, "energy cost of a zero-gain path");
+        1.0 / self.0
+    }
+}
+
+impl Mul for Gain {
+    type Output = Gain;
+    fn mul(self, o: Gain) -> Gain {
+        Gain(self.0 * o.0)
+    }
+}
+impl Mul<f64> for Gain {
+    type Output = Gain;
+    fn mul(self, k: f64) -> Gain {
+        Gain(self.0 * k)
+    }
+}
+
+impl fmt::Display for Gain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 > 0.0 {
+            write!(f, "{}", self.to_db())
+        } else {
+            write!(f, "-inf dB")
+        }
+    }
+}
+
+/// Convenience: linear SNR value from decibels.
+pub fn snr_from_db(db: f64) -> f64 {
+    Db(db).to_ratio()
+}
+
+/// Convenience: decibels from a linear ratio.
+pub fn db(ratio: f64) -> f64 {
+    Db::from_ratio(ratio).value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for r in [0.001, 0.01, 0.5, 1.0, 3.0, 100.0] {
+            let back = Db::from_ratio(r).to_ratio();
+            assert!((back - r).abs() / r < 1e-12, "{r} -> {back}");
+        }
+    }
+
+    #[test]
+    fn db_landmarks() {
+        assert!((Db::from_ratio(2.0).value() - 3.0103).abs() < 1e-3);
+        assert!((Db::from_ratio(10.0).value() - 10.0).abs() < 1e-12);
+        assert!((Db::from_ratio(0.01).value() + 20.0).abs() < 1e-12);
+        // The paper's ~5 dB margin is "probably around 3" as a ratio.
+        assert!((Db(5.0).to_ratio() - 3.162).abs() < 1e-3);
+    }
+
+    #[test]
+    fn db_arithmetic() {
+        let a = Db(10.0) + Db(3.0);
+        assert!((a.value() - 13.0).abs() < 1e-12);
+        let b = Db(10.0) - Db(3.0);
+        assert!((b.value() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_addition_is_linear_not_log() {
+        // Paper §7.3: 20 dB + 10 dB powers = 20.4 dB, "barely significant".
+        let p1 = PowerW(Db(20.0).to_ratio());
+        let p2 = PowerW(Db(10.0).to_ratio());
+        let total_db = Db::from_ratio((p1 + p2).value()).value();
+        assert!((total_db - 20.414).abs() < 1e-3, "got {total_db}");
+    }
+
+    #[test]
+    fn quarter_power_is_one_db_significance() {
+        // Paper §7.3: an interferer must be at least 1/4 of the ambient
+        // interference power to change the total by ~1 dB.
+        let ambient = PowerW(1.0);
+        let interferer = PowerW(0.25);
+        let change = Db::from_ratio((ambient + interferer).ratio_to(ambient));
+        assert!((change.value() - 0.969).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gain_apply_and_cost() {
+        let g = Gain(0.01);
+        assert_eq!(g.apply(PowerW(5.0)), PowerW(0.05));
+        assert!((g.energy_cost() - 100.0).abs() < 1e-12);
+        assert!((g.to_db().value() + 20.0).abs() < 1e-12);
+        assert_eq!(Gain::from_db(Db(-20.0)).value(), 0.01);
+    }
+
+    #[test]
+    fn gain_compose() {
+        let g = Gain(0.1) * Gain(0.1);
+        assert!((g.value() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn power_sum_iterator() {
+        let total: PowerW = [PowerW(1.0), PowerW(2.0), PowerW(3.5)].into_iter().sum();
+        assert_eq!(total, PowerW(6.5));
+    }
+
+    #[test]
+    fn power_ratio() {
+        assert!((PowerW(3.0).ratio_to(PowerW(300.0)) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Db(5.0)), "5.00 dB");
+        assert_eq!(format!("{}", Gain::ZERO), "-inf dB");
+    }
+
+    #[test]
+    fn helpers() {
+        assert!((snr_from_db(-20.0) - 0.01).abs() < 1e-15);
+        assert!((db(0.01) + 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,422 @@
+//! Distributed asynchronous Bellman–Ford (§6.2, citing ref \[3]).
+//!
+//! "The algorithm is also easy to distribute. Each station need only
+//! remember the next hop for each potential destination and the total
+//! energy along that route." Each node keeps a distance vector; nodes are
+//! activated in arbitrary (even adversarial) order, pull their neighbours'
+//! current vectors, and relax. With non-negative costs and no topology
+//! churn, this converges to the same fixed point as Dijkstra.
+
+use crate::graph::EnergyGraph;
+use parn_phys::StationId;
+use parn_sim::Rng;
+
+/// One station's routing state: its distance vector and next hops.
+#[derive(Clone, Debug)]
+pub struct NodeState {
+    /// Estimated minimum energy to each destination.
+    pub dist: Vec<f64>,
+    /// Neighbour used as first hop toward each destination.
+    pub next_hop: Vec<Option<StationId>>,
+}
+
+/// The distributed computation: per-node state plus the activation logic.
+#[derive(Clone, Debug)]
+pub struct DistributedBellmanFord {
+    graph: EnergyGraph,
+    nodes: Vec<NodeState>,
+    rounds: usize,
+}
+
+impl DistributedBellmanFord {
+    /// Initialize: every node knows only itself (distance 0) and direct
+    /// neighbours.
+    pub fn new(graph: EnergyGraph) -> DistributedBellmanFord {
+        let n = graph.len();
+        let mut nodes = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut dist = vec![f64::INFINITY; n];
+            let mut next_hop = vec![None; n];
+            dist[s] = 0.0;
+            for &(nb, cost) in graph.neighbors(s) {
+                if cost < dist[nb] {
+                    dist[nb] = cost;
+                    next_hop[nb] = Some(nb);
+                }
+            }
+            nodes.push(NodeState { dist, next_hop });
+        }
+        DistributedBellmanFord {
+            graph,
+            nodes,
+            rounds: 0,
+        }
+    }
+
+    /// Activate one node: pull each neighbour's distance vector and relax.
+    /// Returns true when the node's state changed.
+    pub fn activate(&mut self, s: StationId) -> bool {
+        let n = self.graph.len();
+        let mut changed = false;
+        // Snapshot the relaxations to avoid aliasing self.nodes.
+        let mut updates: Vec<(usize, f64, StationId)> = Vec::new();
+        {
+            let me = &self.nodes[s];
+            for &(nb, cost) in self.graph.neighbors(s) {
+                let their = &self.nodes[nb];
+                for d in 0..n {
+                    let via = cost + their.dist[d];
+                    if via + 1e-15 < me.dist[d]
+                        && updates
+                            .iter()
+                            .all(|&(ud, uc, _)| ud != d || via < uc)
+                    {
+                        updates.retain(|&(ud, _, _)| ud != d);
+                        updates.push((d, via, nb));
+                    }
+                }
+            }
+        }
+        let me = &mut self.nodes[s];
+        for (d, via, nb) in updates {
+            if via + 1e-15 < me.dist[d] {
+                me.dist[d] = via;
+                me.next_hop[d] = Some(nb);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Run activations in a random order until a full sweep changes
+    /// nothing. Returns the number of sweeps taken.
+    pub fn run_async(&mut self, rng: &mut Rng, max_sweeps: usize) -> usize {
+        let n = self.graph.len();
+        let mut order: Vec<StationId> = (0..n).collect();
+        for sweep in 1..=max_sweeps {
+            rng.shuffle(&mut order);
+            let mut any = false;
+            for &s in &order {
+                if self.activate(s) {
+                    any = true;
+                }
+            }
+            self.rounds = sweep;
+            if !any {
+                return sweep;
+            }
+        }
+        max_sweeps
+    }
+
+    /// Run synchronous sweeps in node order (deterministic) to fixpoint.
+    pub fn run_sync(&mut self, max_sweeps: usize) -> usize {
+        let n = self.graph.len();
+        for sweep in 1..=max_sweeps {
+            let mut any = false;
+            for s in 0..n {
+                if self.activate(s) {
+                    any = true;
+                }
+            }
+            self.rounds = sweep;
+            if !any {
+                return sweep;
+            }
+        }
+        max_sweeps
+    }
+
+    /// A node's converged state.
+    pub fn node(&self, s: StationId) -> &NodeState {
+        &self.nodes[s]
+    }
+
+    /// Sweeps executed so far.
+    pub fn sweeps(&self) -> usize {
+        self.rounds
+    }
+
+    /// A station disappears: remove its edges from the (local copy of the)
+    /// graph and invalidate every route that used it — its neighbours'
+    /// entries *through* it and everyone's entries *to* it — then
+    /// re-converge with [`run_async`](Self::run_async) or
+    /// [`run_sync`](Self::run_sync).
+    ///
+    /// Distance-vector protocols famously count to infinity on withdrawals;
+    /// the textbook remedy this models is a full invalidation flood: every
+    /// node forgets routes whose next hop died (recursively, since a
+    /// neighbour's advertised distance may have gone through the dead
+    /// node), falling back to direct-edge knowledge before re-converging.
+    /// We implement the conservative version: reset all state to the
+    /// direct-neighbour baseline of the surviving graph. Convergence then
+    /// proceeds exactly like a fresh start, which is the correctness
+    /// anchor the tests pin.
+    pub fn remove_node(&mut self, dead: StationId) {
+        let n = self.graph.len();
+        // Drop the dead node's edges (both directions).
+        let mut edges: Vec<(StationId, StationId, f64)> = Vec::new();
+        for s in 0..n {
+            if s == dead {
+                continue;
+            }
+            for &(nb, cost) in self.graph.neighbors(s) {
+                if nb != dead {
+                    edges.push((s, nb, cost));
+                }
+            }
+        }
+        self.graph = EnergyGraph::from_edges(n, &edges);
+        // Conservative invalidation: rebuild every node's state from its
+        // surviving direct edges.
+        for s in 0..n {
+            let mut dist = vec![f64::INFINITY; n];
+            let mut next_hop = vec![None; n];
+            if s != dead {
+                dist[s] = 0.0;
+                for &(nb, cost) in self.graph.neighbors(s) {
+                    if cost < dist[nb] {
+                        dist[nb] = cost;
+                        next_hop[nb] = Some(nb);
+                    }
+                }
+            }
+            self.nodes[s] = NodeState { dist, next_hop };
+        }
+    }
+
+    /// Extract the hop-by-hop path `src → dst` by following next hops.
+    /// Returns `None` if `dst` is unreachable (or a routing loop is
+    /// detected, which converged tables never contain).
+    pub fn path(&self, src: StationId, dst: StationId) -> Option<Vec<StationId>> {
+        let n = self.graph.len();
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let hop = self.nodes[cur].next_hop[dst]?;
+            path.push(hop);
+            cur = hop;
+            if path.len() > n {
+                return None; // loop guard
+            }
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+
+    fn ring(n: usize) -> EnergyGraph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            edges.push((i, j, 1.0));
+            edges.push((j, i, 1.0));
+        }
+        EnergyGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn converges_on_ring() {
+        let mut bf = DistributedBellmanFord::new(ring(8));
+        let sweeps = bf.run_sync(100);
+        assert!(sweeps < 100, "did not converge");
+        // Opposite node on an 8-ring is 4 hops away.
+        assert_eq!(bf.node(0).dist[4], 4.0);
+        assert_eq!(bf.path(0, 4).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        let mut rng = Rng::new(99);
+        for trial in 0..10 {
+            let n = 20;
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b && rng.chance(0.2) {
+                        let c = rng.range_f64(0.5, 10.0);
+                        edges.push((a, b, c));
+                    }
+                }
+            }
+            let g = EnergyGraph::from_edges(n, &edges);
+            let mut bf = DistributedBellmanFord::new(g.clone());
+            bf.run_async(&mut rng, 1000);
+            for src in 0..n {
+                let sp = dijkstra(&g, src);
+                for dst in 0..n {
+                    let bd = bf.node(src).dist[dst];
+                    let dd = sp.dist[dst];
+                    assert!(
+                        (bd - dd).abs() < 1e-9 || (bd.is_infinite() && dd.is_infinite()),
+                        "trial {trial}: {src}->{dst}: bf {bd} vs dijkstra {dd}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_order_does_not_change_fixpoint() {
+        let g = ring(10);
+        let mut a = DistributedBellmanFord::new(g.clone());
+        let mut b = DistributedBellmanFord::new(g);
+        a.run_async(&mut Rng::new(1), 1000);
+        b.run_async(&mut Rng::new(2), 1000);
+        for s in 0..10 {
+            assert_eq!(a.node(s).dist, b.node(s).dist);
+        }
+    }
+
+    #[test]
+    fn hop_by_hop_paths_are_consistent() {
+        // §6.2: transit packets are routed as if originated at the transit
+        // station — following next hops from any midpoint of a path yields
+        // the suffix of that path.
+        let mut rng = Rng::new(7);
+        let mut edges = Vec::new();
+        let n = 15;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.chance(0.3) {
+                    let c = rng.range_f64(1.0, 5.0);
+                    edges.push((a, b, c));
+                    edges.push((b, a, c));
+                }
+            }
+        }
+        let g = EnergyGraph::from_edges(n, &edges);
+        let mut bf = DistributedBellmanFord::new(g);
+        bf.run_async(&mut rng, 1000);
+        for src in 0..n {
+            for dst in 0..n {
+                if let Some(p) = bf.path(src, dst) {
+                    for (k, &mid) in p.iter().enumerate() {
+                        assert_eq!(
+                            bf.path(mid, dst).unwrap(),
+                            p[k..].to_vec(),
+                            "suffix mismatch {src}->{dst} at {mid}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let g = EnergyGraph::from_edges(4, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let mut bf = DistributedBellmanFord::new(g);
+        bf.run_sync(100);
+        assert!(bf.node(0).dist[3].is_infinite());
+        assert_eq!(bf.path(0, 3), None);
+    }
+
+    #[test]
+    fn remove_node_reconverges_to_filtered_fixpoint() {
+        // Random geometric-ish graphs: kill a node, re-converge, compare
+        // with a fresh computation over the survivor graph.
+        let mut rng = Rng::new(123);
+        for trial in 0..6 {
+            let n = 18;
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.chance(0.3) {
+                        let c = rng.range_f64(0.5, 9.0);
+                        edges.push((a, b, c));
+                        edges.push((b, a, c));
+                    }
+                }
+            }
+            let g = EnergyGraph::from_edges(n, &edges);
+            let dead = (trial * 3) % n;
+
+            let mut healed = DistributedBellmanFord::new(g.clone());
+            healed.run_async(&mut rng, 500);
+            healed.remove_node(dead);
+            healed.run_async(&mut rng, 500);
+
+            let survivor_edges: Vec<_> = edges
+                .iter()
+                .copied()
+                .filter(|&(a, b, _)| a != dead && b != dead)
+                .collect();
+            let fresh_graph = EnergyGraph::from_edges(n, &survivor_edges);
+            let mut fresh = DistributedBellmanFord::new(fresh_graph);
+            fresh.run_sync(500);
+
+            for s in 0..n {
+                for d in 0..n {
+                    if s == dead || d == dead {
+                        continue; // the dead node's own rows are moot
+                    }
+                    let (a, b) = (healed.node(s).dist[d], fresh.node(s).dist[d]);
+                    if a.is_finite() || b.is_finite() {
+                        assert!(
+                            (a - b).abs() < 1e-9,
+                            "trial {trial} dead {dead}: {s}->{d}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+            // The dead node routes nowhere and nothing routes through it.
+            for d in 0..n {
+                if d != dead {
+                    assert!(healed.node(dead).dist[d].is_infinite());
+                }
+                for s in 0..n {
+                    if let Some(p) = healed.path(s, d) {
+                        if p.len() > 2 {
+                            assert!(
+                                !p[1..p.len() - 1].contains(&dead),
+                                "route {s}->{d} transits the dead node"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_node_handles_partition() {
+        // A barbell: killing the bridge node partitions the graph.
+        let g = EnergyGraph::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 3, 1.0),
+            ],
+        );
+        let mut bf = DistributedBellmanFord::new(g);
+        bf.run_sync(100);
+        assert!(bf.node(0).dist[4].is_finite());
+        bf.remove_node(2);
+        bf.run_sync(100);
+        assert!(bf.node(0).dist[1].is_finite());
+        assert!(bf.node(0).dist[3].is_infinite(), "partition not detected");
+        assert!(bf.node(4).dist[0].is_infinite());
+    }
+
+    #[test]
+    fn single_activation_relaxes_locally() {
+        let g = EnergyGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let mut bf = DistributedBellmanFord::new(g);
+        // Node 0 initially doesn't know about 2.
+        assert!(bf.node(0).dist[2].is_infinite());
+        assert!(bf.activate(0));
+        assert_eq!(bf.node(0).dist[2], 2.0);
+        assert!(!bf.activate(0), "second activation is a no-op");
+    }
+}

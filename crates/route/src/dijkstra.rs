@@ -1,0 +1,208 @@
+//! Centralized minimum-energy shortest paths (Dijkstra).
+//!
+//! The reference implementation the distributed Bellman–Ford (§6.2, ref \[3])
+//! is validated against. Costs are non-negative energies, so Dijkstra
+//! applies directly.
+
+use crate::graph::EnergyGraph;
+use parn_phys::StationId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source run: distance and predecessor arrays.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// Source station.
+    pub source: StationId,
+    /// Minimum energy from the source to each station (∞ if unreachable).
+    pub dist: Vec<f64>,
+    /// Predecessor of each station on its min-energy path from the source.
+    pub prev: Vec<Option<StationId>>,
+}
+
+impl ShortestPaths {
+    /// Whether `dst` is reachable from the source.
+    pub fn reachable(&self, dst: StationId) -> bool {
+        self.dist[dst].is_finite()
+    }
+
+    /// The full path source → … → `dst`, or `None` if unreachable.
+    pub fn path_to(&self, dst: StationId) -> Option<Vec<StationId>> {
+        if !self.reachable(dst) {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = self.prev[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+
+    /// Number of hops on the path to `dst` (0 for the source itself).
+    pub fn hops_to(&self, dst: StationId) -> Option<usize> {
+        self.path_to(dst).map(|p| p.len() - 1)
+    }
+
+    /// The *first hop* on the path to `dst` (None when `dst` is the source
+    /// or unreachable).
+    pub fn first_hop_to(&self, dst: StationId) -> Option<StationId> {
+        let p = self.path_to(dst)?;
+        if p.len() < 2 {
+            None
+        } else {
+            Some(p[1])
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: StationId,
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on dist; ties broken by node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("NaN cost")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Single-source Dijkstra over the energy graph.
+pub fn dijkstra(graph: &EnergyGraph, source: StationId) -> ShortestPaths {
+    let n = graph.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if done[node] {
+            continue;
+        }
+        done[node] = true;
+        for &(next, cost) in graph.neighbors(node) {
+            let nd = d + cost;
+            if nd < dist[next] {
+                dist[next] = nd;
+                prev[next] = Some(node);
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
+            }
+        }
+    }
+    ShortestPaths { source, dist, prev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -1- 1 -1- 2, plus a direct 0-2 edge of cost 3: two hops win.
+    fn diamond() -> EnergyGraph {
+        EnergyGraph::from_edges(
+            3,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (0, 2, 3.0),
+                (2, 0, 3.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn prefers_cheaper_two_hop() {
+        let sp = dijkstra(&diamond(), 0);
+        assert_eq!(sp.dist[2], 2.0);
+        assert_eq!(sp.path_to(2), Some(vec![0, 1, 2]));
+        assert_eq!(sp.hops_to(2), Some(2));
+        assert_eq!(sp.first_hop_to(2), Some(1));
+    }
+
+    #[test]
+    fn direct_when_cheaper() {
+        let g = EnergyGraph::from_edges(3, &[(0, 1, 5.0), (1, 2, 5.0), (0, 2, 3.0)]);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.path_to(2), Some(vec![0, 2]));
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = EnergyGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let sp = dijkstra(&g, 0);
+        assert!(!sp.reachable(2));
+        assert_eq!(sp.path_to(2), None);
+        assert_eq!(sp.hops_to(2), None);
+    }
+
+    #[test]
+    fn source_is_trivial() {
+        let sp = dijkstra(&diamond(), 1);
+        assert_eq!(sp.dist[1], 0.0);
+        assert_eq!(sp.path_to(1), Some(vec![1]));
+        assert_eq!(sp.first_hop_to(1), None);
+    }
+
+    #[test]
+    fn optimal_substructure() {
+        // §6.2: "a minimum-energy route from A to C that goes through B
+        // will use the same route from B to C as any other route through
+        // B" — suffixes of optimal paths are optimal.
+        let g = EnergyGraph::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (0, 2, 3.0),
+                (1, 3, 3.0),
+                (2, 4, 3.0),
+            ],
+        );
+        let from0 = dijkstra(&g, 0);
+        let p = from0.path_to(4).unwrap();
+        for (k, &mid) in p.iter().enumerate() {
+            let from_mid = dijkstra(&g, mid);
+            assert_eq!(
+                from_mid.path_to(4).unwrap(),
+                p[k..].to_vec(),
+                "suffix from {mid} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost paths: the result must be stable across runs.
+        let g = EnergyGraph::from_edges(
+            4,
+            &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+        );
+        let a = dijkstra(&g, 0).path_to(3);
+        let b = dijkstra(&g, 0).path_to(3);
+        assert_eq!(a, b);
+    }
+}

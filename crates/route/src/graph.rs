@@ -1,0 +1,194 @@
+//! The energy-cost graph derived from the propagation matrix.
+//!
+//! §6.2: "stations ... will be able to observe the path gains between
+//! themselves and construct entries in the propagation matrix H for the
+//! hops that are usable. ... The common algorithms for computing min-cost
+//! paths can be used to find the least-cost paths in the propagation
+//! matrix H, where the costs are the reciprocal of the path gains" —
+//! i.e. the cost of a hop is proportional to the transmit *energy* needed
+//! to deliver a fixed received power over it.
+
+use parn_phys::{Gain, GainMatrix, StationId};
+
+/// A directed graph whose edge weights are hop energies (`1/gain`).
+#[derive(Clone, Debug)]
+pub struct EnergyGraph {
+    n: usize,
+    adj: Vec<Vec<(StationId, f64)>>,
+}
+
+impl EnergyGraph {
+    /// Build from a gain matrix, keeping only hops whose power gain is at
+    /// least `usable_gain` (hops below that cannot sustain the design rate
+    /// over the din and are not "usable" links).
+    pub fn from_gains(gains: &GainMatrix, usable_gain: Gain) -> EnergyGraph {
+        let n = gains.len();
+        let mut adj = vec![Vec::new(); n];
+        for (i, out) in adj.iter_mut().enumerate() {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let g = gains.gain(j, i); // receiver j, transmitter i
+                if g >= usable_gain && g.value() > 0.0 {
+                    out.push((j, g.energy_cost()));
+                }
+            }
+        }
+        EnergyGraph { n, adj }
+    }
+
+    /// Like [`from_gains`](EnergyGraph::from_gains), but only stations
+    /// flagged `alive` participate — used when the topology changes
+    /// (station failures) and routes must be recomputed over the
+    /// survivors.
+    pub fn from_gains_filtered(
+        gains: &GainMatrix,
+        usable_gain: Gain,
+        alive: &[bool],
+    ) -> EnergyGraph {
+        let n = gains.len();
+        assert_eq!(alive.len(), n, "alive mask size mismatch");
+        let mut adj = vec![Vec::new(); n];
+        for (i, out) in adj.iter_mut().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            for (j, &j_alive) in alive.iter().enumerate() {
+                if i == j || !j_alive {
+                    continue;
+                }
+                let g = gains.gain(j, i);
+                if g >= usable_gain && g.value() > 0.0 {
+                    out.push((j, g.energy_cost()));
+                }
+            }
+        }
+        EnergyGraph { n, adj }
+    }
+
+    /// Build from an explicit edge list `(from, to, cost)`.
+    pub fn from_edges(n: usize, edges: &[(StationId, StationId, f64)]) -> EnergyGraph {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b, c) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            assert!(c >= 0.0, "negative cost");
+            adj[a].push((b, c));
+        }
+        EnergyGraph { n, adj }
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no stations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Outgoing usable hops from `s`.
+    pub fn neighbors(&self, s: StationId) -> &[(StationId, f64)] {
+        &self.adj[s]
+    }
+
+    /// Out-degree of `s` (number of usable hops).
+    pub fn degree(&self, s: StationId) -> usize {
+        self.adj[s].len()
+    }
+
+    /// Cost of the direct hop `a → b`, if usable.
+    pub fn edge_cost(&self, a: StationId, b: StationId) -> Option<f64> {
+        self.adj[a].iter().find(|&&(t, _)| t == b).map(|&(_, c)| c)
+    }
+
+    /// Total number of directed usable hops.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parn_phys::propagation::FreeSpace;
+    use parn_phys::Point;
+
+    fn line_gains() -> GainMatrix {
+        // 0 --10m-- 1 --10m-- 2 : gains 0.01 adjacent, 0.0025 end-to-end.
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+        ];
+        GainMatrix::build(&pos, &FreeSpace::unit())
+    }
+
+    #[test]
+    fn costs_are_reciprocal_gains() {
+        let g = EnergyGraph::from_gains(&line_gains(), Gain(1e-6));
+        assert!((g.edge_cost(0, 1).unwrap() - 100.0).abs() < 1e-9);
+        assert!((g.edge_cost(0, 2).unwrap() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_prunes_weak_links() {
+        let g = EnergyGraph::from_gains(&line_gains(), Gain(0.005));
+        assert!(g.edge_cost(0, 1).is_some());
+        assert!(g.edge_cost(0, 2).is_none(), "end-to-end link pruned");
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn symmetric_gains_give_symmetric_costs() {
+        let g = EnergyGraph::from_gains(&line_gains(), Gain(1e-6));
+        assert_eq!(g.edge_cost(0, 2), g.edge_cost(2, 0));
+    }
+
+    #[test]
+    fn from_edges_explicit() {
+        let g = EnergyGraph::from_edges(3, &[(0, 1, 5.0), (1, 2, 7.0)]);
+        assert_eq!(g.edge_cost(0, 1), Some(5.0));
+        assert_eq!(g.edge_cost(1, 0), None, "directed");
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        EnergyGraph::from_edges(2, &[(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn filtered_excludes_dead_stations() {
+        let gm = line_gains();
+        let full = EnergyGraph::from_gains(&gm, Gain(1e-6));
+        let filtered = EnergyGraph::from_gains_filtered(&gm, Gain(1e-6), &[true, false, true]);
+        assert!(full.edge_cost(0, 1).is_some());
+        assert!(filtered.edge_cost(0, 1).is_none(), "dead target kept");
+        assert!(filtered.edge_cost(1, 0).is_none(), "dead source kept");
+        assert!(filtered.edge_cost(0, 2).is_some(), "live link dropped");
+        assert_eq!(filtered.degree(1), 0);
+    }
+
+    #[test]
+    fn filtered_all_alive_equals_unfiltered() {
+        let gm = line_gains();
+        let a = EnergyGraph::from_gains(&gm, Gain(0.005));
+        let b = EnergyGraph::from_gains_filtered(&gm, Gain(0.005), &[true; 3]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.edge_cost(i, j), b.edge_cost(i, j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alive mask")]
+    fn filtered_checks_mask_len() {
+        EnergyGraph::from_gains_filtered(&line_gains(), Gain(1e-6), &[true]);
+    }
+}

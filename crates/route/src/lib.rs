@@ -1,0 +1,27 @@
+//! `parn-route`: minimum-energy routing (paper §6.2).
+//!
+//! Routes are chosen "so as to minimize each packet's total contribution
+//! to interference at distant stations": hop cost = reciprocal path gain
+//! (the transmit energy under power control), minimized end-to-end.
+//!
+//! * [`graph`] — the energy-cost graph from the propagation matrix;
+//! * [`dijkstra`](mod@dijkstra) — centralized reference shortest paths;
+//! * [`bellman_ford`] — the distributed asynchronous computation stations
+//!   actually run;
+//! * [`table`] — all-pairs next-hop tables with consistency checking;
+//! * [`relay`] — the diameter-circle relay property and route geometry;
+//! * [`neighbors`] — usable-hop thresholds and degree statistics.
+
+#![warn(missing_docs)]
+
+pub mod bellman_ford;
+pub mod dijkstra;
+pub mod graph;
+pub mod neighbors;
+pub mod relay;
+pub mod table;
+
+pub use bellman_ford::DistributedBellmanFord;
+pub use dijkstra::{dijkstra, ShortestPaths};
+pub use graph::EnergyGraph;
+pub use table::RouteTable;

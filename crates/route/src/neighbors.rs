@@ -1,0 +1,135 @@
+//! Neighbour discovery by path gain.
+//!
+//! §6: stations can communicate directly only with neighbours within
+//! roughly twice the characteristic distance `1/√ρ`; in gain terms, hops
+//! whose power gain clears the level needed to sustain the design rate
+//! over the din. This module derives that gain threshold from physical
+//! parameters and reports neighbourhood statistics.
+
+use parn_phys::{Gain, GainMatrix};
+
+/// Derive the usable-hop gain threshold from the physical design: a hop is
+/// usable when a transmitter at `max_power` can deliver `threshold ×
+/// ambient noise` to the receiver, i.e. `gain ≥ θ·N/P_max`.
+pub fn usable_gain_threshold(
+    max_power_w: f64,
+    ambient_noise_w: f64,
+    sinr_threshold: f64,
+) -> Gain {
+    debug_assert!(max_power_w > 0.0);
+    Gain(sinr_threshold * ambient_noise_w / max_power_w)
+}
+
+/// Gain at distance `d` under unit-κ free space loss — convenience for
+/// turning "reach 2/√ρ" into a gain threshold.
+pub fn free_space_gain_at(d: f64) -> Gain {
+    debug_assert!(d > 0.0);
+    Gain(1.0 / (d * d))
+}
+
+/// Degree statistics of the physical neighbourhood graph at a threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Stations with zero neighbours (disconnected at this threshold).
+    pub isolated: usize,
+}
+
+/// Compute neighbour-degree statistics over a gain matrix.
+pub fn degree_stats(gains: &GainMatrix, threshold: Gain) -> DegreeStats {
+    let n = gains.len();
+    let mut min = usize::MAX;
+    let mut max = 0;
+    let mut sum = 0usize;
+    let mut isolated = 0;
+    for s in 0..n {
+        let d = gains.hearable_by(s, threshold).len();
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats {
+        min: if n == 0 { 0 } else { min },
+        max,
+        mean: if n == 0 { 0.0 } else { sum as f64 / n as f64 },
+        isolated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parn_phys::placement::{characteristic_length, Placement};
+    use parn_phys::propagation::FreeSpace;
+    use parn_sim::Rng;
+
+    #[test]
+    fn threshold_scales_with_design() {
+        let t = usable_gain_threshold(1.0, 1e-6, 0.01);
+        assert!((t.value() - 1e-8).abs() < 1e-20);
+        // Double the power budget: threshold halves.
+        let t2 = usable_gain_threshold(2.0, 1e-6, 0.01);
+        assert!((t2.value() - 5e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn free_space_gain_at_distance() {
+        assert!((free_space_gain_at(10.0).value() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expected_neighbors_at_characteristic_distances() {
+        // §6: within 1/√ρ expect π ≈ 3 others; within 2/√ρ expect 4π ≈ 12.
+        let mut rng = Rng::new(42);
+        let n = 2000;
+        let radius = 1000.0;
+        let rho = n as f64 / (std::f64::consts::PI * radius * radius);
+        let pos = Placement::UniformDisk { n, radius }.generate(&mut rng);
+        let gm = parn_phys::GainMatrix::build(&pos, &FreeSpace::unit());
+        let l = characteristic_length(rho);
+        let near = degree_stats(&gm, free_space_gain_at(l));
+        let far = degree_stats(&gm, free_space_gain_at(2.0 * l));
+        // Edge stations see fewer, so means sit slightly below π and 4π.
+        assert!(
+            (2.0..=3.5).contains(&near.mean),
+            "near mean {}",
+            near.mean
+        );
+        assert!(
+            (9.0..=13.0).contains(&far.mean),
+            "far mean {}",
+            far.mean
+        );
+        assert!(far.mean > 3.0 * near.mean, "quadrupling range ~4x degree");
+    }
+
+    #[test]
+    fn isolated_stations_counted() {
+        let pos = vec![
+            parn_phys::Point::new(0.0, 0.0),
+            parn_phys::Point::new(1.0, 0.0),
+            parn_phys::Point::new(1000.0, 0.0),
+        ];
+        let gm = parn_phys::GainMatrix::build(&pos, &FreeSpace::unit());
+        let stats = degree_stats(&gm, free_space_gain_at(10.0));
+        assert_eq!(stats.isolated, 1);
+        assert_eq!(stats.max, 1);
+        assert_eq!(stats.min, 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let gm = parn_phys::GainMatrix::from_raw(0, vec![]);
+        let stats = degree_stats(&gm, Gain(0.1));
+        assert_eq!(stats.mean, 0.0);
+        assert_eq!(stats.isolated, 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Network-wide routing tables.
+//!
+//! A [`RouteTable`] holds, for every (source, destination) pair, the next
+//! hop and the total route energy — exactly the per-station state §6.2
+//! prescribes ("each station need only remember the next hop for each
+//! potential destination and the total energy along that route"),
+//! assembled network-wide for the simulator.
+
+use crate::bellman_ford::DistributedBellmanFord;
+use crate::dijkstra::dijkstra;
+use crate::graph::EnergyGraph;
+use parn_phys::StationId;
+use parn_sim::Rng;
+use std::collections::HashSet;
+
+/// Immutable all-pairs next-hop table.
+///
+/// ```
+/// use parn_route::{EnergyGraph, RouteTable};
+/// // 0 -1- 1 -1- 2 with an expensive direct 0-2 edge: min-energy routing
+/// // relays through 1.
+/// let g = EnergyGraph::from_edges(3, &[
+///     (0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0),
+///     (0, 2, 3.0), (2, 0, 3.0),
+/// ]);
+/// let t = RouteTable::centralized(&g);
+/// assert_eq!(t.path(0, 2), Some(vec![0, 1, 2]));
+/// assert_eq!(t.cost(0, 2), 2.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    n: usize,
+    next_hop: Vec<Option<StationId>>, // row-major [src][dst]
+    cost: Vec<f64>,
+}
+
+impl RouteTable {
+    /// Build centrally by running Dijkstra from every source.
+    pub fn centralized(graph: &EnergyGraph) -> RouteTable {
+        let n = graph.len();
+        let mut next_hop = vec![None; n * n];
+        let mut cost = vec![f64::INFINITY; n * n];
+        for src in 0..n {
+            let sp = dijkstra(graph, src);
+            for dst in 0..n {
+                cost[src * n + dst] = sp.dist[dst];
+                next_hop[src * n + dst] = sp.first_hop_to(dst);
+            }
+            cost[src * n + src] = 0.0;
+        }
+        RouteTable { n, next_hop, cost }
+    }
+
+    /// Build by running the distributed asynchronous Bellman–Ford to
+    /// convergence (the decentralized computation real stations would do).
+    pub fn distributed(graph: &EnergyGraph, rng: &mut Rng) -> RouteTable {
+        let n = graph.len();
+        let mut bf = DistributedBellmanFord::new(graph.clone());
+        bf.run_async(rng, 4 * n.max(16));
+        let mut next_hop = vec![None; n * n];
+        let mut cost = vec![f64::INFINITY; n * n];
+        for src in 0..n {
+            let st = bf.node(src);
+            for dst in 0..n {
+                cost[src * n + dst] = st.dist[dst];
+                next_hop[src * n + dst] = st.next_hop[dst];
+            }
+        }
+        RouteTable { n, next_hop, cost }
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Next hop from `src` toward `dst` (None when `src == dst` or
+    /// unreachable).
+    pub fn next_hop(&self, src: StationId, dst: StationId) -> Option<StationId> {
+        self.next_hop[src * self.n + dst]
+    }
+
+    /// Total route energy from `src` to `dst`.
+    pub fn cost(&self, src: StationId, dst: StationId) -> f64 {
+        self.cost[src * self.n + dst]
+    }
+
+    /// Whether `dst` is reachable from `src`.
+    pub fn reachable(&self, src: StationId, dst: StationId) -> bool {
+        src == dst || self.next_hop(src, dst).is_some()
+    }
+
+    /// Whether every station can reach every other.
+    pub fn fully_connected(&self) -> bool {
+        (0..self.n).all(|s| (0..self.n).all(|d| self.reachable(s, d)))
+    }
+
+    /// The full hop-by-hop path, or None if unreachable/looping.
+    pub fn path(&self, src: StationId, dst: StationId) -> Option<Vec<StationId>> {
+        let mut p = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst)?;
+            p.push(cur);
+            if p.len() > self.n {
+                return None;
+            }
+        }
+        Some(p)
+    }
+
+    /// Hop count of the route (None when unreachable).
+    pub fn hops(&self, src: StationId, dst: StationId) -> Option<usize> {
+        self.path(src, dst).map(|p| p.len() - 1)
+    }
+
+    /// The distinct next-hop neighbours `src` actually uses — the paper's
+    /// "routing neighbors", observed in its simulations never to exceed
+    /// eight.
+    pub fn routing_neighbors(&self, src: StationId) -> Vec<StationId> {
+        let mut set = HashSet::new();
+        for dst in 0..self.n {
+            if let Some(h) = self.next_hop(src, dst) {
+                set.insert(h);
+            }
+        }
+        let mut v: Vec<StationId> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Maximum routing-neighbour count over all stations.
+    pub fn max_routing_degree(&self) -> usize {
+        (0..self.n)
+            .map(|s| self.routing_neighbors(s).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verify hop-by-hop consistency: for every reachable pair, following
+    /// next hops terminates and the accumulated edge costs equal the
+    /// stored route cost (within tolerance). Returns the first violation.
+    pub fn check_consistency(&self, graph: &EnergyGraph) -> Result<(), String> {
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                if !self.cost(src, dst).is_finite() {
+                    continue;
+                }
+                let Some(p) = self.path(src, dst) else {
+                    return Err(format!("route {src}->{dst} loops or dead-ends"));
+                };
+                let mut total = 0.0;
+                for pair in p.windows(2) {
+                    let Some(c) = graph.edge_cost(pair[0], pair[1]) else {
+                        return Err(format!(
+                            "route {src}->{dst} uses missing edge {pair:?}"
+                        ));
+                    };
+                    total += c;
+                }
+                let stored = self.cost(src, dst);
+                if (total - stored).abs() > 1e-6 * (1.0 + stored.abs()) {
+                    return Err(format!(
+                        "route {src}->{dst}: path cost {total} != stored {stored}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> EnergyGraph {
+        EnergyGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (0, 2, 3.0),
+                (2, 0, 3.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn centralized_table_routes() {
+        let t = RouteTable::centralized(&chain());
+        assert_eq!(t.next_hop(0, 3), Some(1));
+        assert_eq!(t.path(0, 3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(t.hops(0, 3), Some(3));
+        assert_eq!(t.cost(0, 3), 3.0);
+        assert!(t.fully_connected());
+        assert!(t.check_consistency(&chain()).is_ok());
+    }
+
+    #[test]
+    fn distributed_matches_centralized() {
+        let g = chain();
+        let c = RouteTable::centralized(&g);
+        let d = RouteTable::distributed(&g, &mut Rng::new(3));
+        for s in 0..4 {
+            for t in 0..4 {
+                assert!((c.cost(s, t) - d.cost(s, t)).abs() < 1e-9);
+            }
+        }
+        assert!(d.check_consistency(&g).is_ok());
+    }
+
+    #[test]
+    fn self_route() {
+        let t = RouteTable::centralized(&chain());
+        assert_eq!(t.next_hop(2, 2), None);
+        assert_eq!(t.cost(2, 2), 0.0);
+        assert_eq!(t.path(2, 2), Some(vec![2]));
+        assert!(t.reachable(2, 2));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = EnergyGraph::from_edges(3, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let t = RouteTable::centralized(&g);
+        assert!(!t.fully_connected());
+        assert!(!t.reachable(0, 2));
+        assert_eq!(t.path(0, 2), None);
+    }
+
+    #[test]
+    fn routing_neighbors_deduplicate() {
+        let t = RouteTable::centralized(&chain());
+        // Station 0 reaches everyone through station 1 only.
+        assert_eq!(t.routing_neighbors(0), vec![1]);
+        // Station 1 uses 0 and 2.
+        assert_eq!(t.routing_neighbors(1), vec![0, 2]);
+        assert_eq!(t.max_routing_degree(), 2);
+    }
+
+    #[test]
+    fn consistency_catches_corruption() {
+        let g = chain();
+        let mut t = RouteTable::centralized(&g);
+        // Corrupt: make 0->3 point at 3 directly (no such edge).
+        t.next_hop[3] = Some(3);
+        assert!(t.check_consistency(&g).is_err());
+    }
+}

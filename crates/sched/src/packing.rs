@@ -1,0 +1,281 @@
+//! Quarter-slot packet packing (§7.2, after the thesis, ref \[8]).
+//!
+//! The thesis schedules packets into slots by "limiting the packets to a
+//! small fixed-size one-fourth the length of a slot time": a packet may
+//! start only at the four quarter-points of the *sender's* slots. This
+//! costs some usable overlap (≈25%: a usable fraction of roughly 15% of
+//! all time per neighbour instead of 21%) but makes the transmitter's
+//! bookkeeping trivial and keeps transmissions aligned to the sender's own
+//! schedule.
+
+use crate::slots::SchedParams;
+use crate::windows::Window;
+use parn_sim::{Duration, Time};
+
+/// Fixed-size packet packing rules derived from the schedule parameters.
+///
+/// The thesis divides each slot into 4; [`QuarterSlot::with_divisor`]
+/// generalizes the divisor so ablations can explore the packet-size
+/// trade-off (larger packets waste more of each partial overlap; smaller
+/// packets pay more per-packet overhead in a real radio).
+#[derive(Clone, Copy, Debug)]
+pub struct QuarterSlot {
+    /// The schedule parameters the packing is aligned to.
+    pub params: SchedParams,
+    /// Packets per slot (packet length = slot / divisor).
+    pub divisor: u64,
+}
+
+impl QuarterSlot {
+    /// The thesis's packing: four packets per slot.
+    pub fn new(params: SchedParams) -> QuarterSlot {
+        QuarterSlot { params, divisor: 4 }
+    }
+
+    /// Packing with an explicit packets-per-slot divisor (≥ 1, dividing
+    /// the slot length exactly).
+    pub fn with_divisor(params: SchedParams, divisor: u64) -> QuarterSlot {
+        assert!(divisor >= 1, "divisor must be positive");
+        assert!(
+            params.slot.ticks().is_multiple_of(divisor),
+            "divisor must divide the slot length"
+        );
+        QuarterSlot { params, divisor }
+    }
+
+    /// The fixed packet (air-time) length: one `1/divisor` of a slot.
+    pub fn packet_len(&self) -> Duration {
+        self.params.slot / self.divisor
+    }
+
+    /// Packet-boundary spacing in local ticks.
+    fn quarter_ticks(&self) -> u64 {
+        self.params.slot.ticks() / self.divisor
+    }
+
+    /// Round a sender-local reading up to the next quarter-point.
+    pub fn align_up_local(&self, local: u64) -> u64 {
+        let q = self.quarter_ticks();
+        local.div_ceil(q) * q
+    }
+
+    /// True when a sender-local reading sits exactly on a quarter-point.
+    pub fn is_aligned_local(&self, local: u64) -> bool {
+        local.is_multiple_of(self.quarter_ticks())
+    }
+
+    /// All admissible packet start times within `usable` windows, given a
+    /// conversion from global time to the sender's local clock reading and
+    /// back. Returns at most `limit` starts, earliest first.
+    ///
+    /// A start is admissible when it lies on a sender quarter-point and the
+    /// whole packet `[t, t + len)` fits inside one usable window.
+    pub fn admissible_starts(
+        &self,
+        usable: &[Window],
+        to_local: impl Fn(Time) -> u64,
+        to_global: impl Fn(u64) -> Option<Time>,
+        limit: usize,
+    ) -> Vec<Time> {
+        let len = self.packet_len();
+        let q = self.quarter_ticks();
+        let mut out = Vec::new();
+        for w in usable {
+            let mut local = self.align_up_local(to_local(w.start));
+            while let Some(t) = to_global(local) {
+                // Clock inversion may round one tick early; nudge inside.
+                let t = if t < w.start { w.start } else { t };
+                if !w.fits(t, len) {
+                    break;
+                }
+                out.push(t);
+                if out.len() >= limit {
+                    return out;
+                }
+                local += q;
+            }
+        }
+        out
+    }
+
+    /// The earliest admissible start at or after `earliest`, if any.
+    pub fn first_admissible(
+        &self,
+        usable: &[Window],
+        earliest: Time,
+        to_local: impl Fn(Time) -> u64,
+        to_global: impl Fn(u64) -> Option<Time>,
+    ) -> Option<Time> {
+        let len = self.packet_len();
+        let q = self.quarter_ticks();
+        for w in usable {
+            if w.end <= earliest {
+                continue;
+            }
+            let from = w.start.max(earliest);
+            let mut local = self.align_up_local(to_local(from));
+            loop {
+                let t = to_global(local)?;
+                let t = if t < from { from } else { t };
+                if t + len > w.end {
+                    break; // try the next window
+                }
+                if t >= earliest {
+                    return Some(t);
+                }
+                local += q;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::StationClock;
+
+    fn qs() -> QuarterSlot {
+        QuarterSlot::new(SchedParams::new(
+            Duration::from_millis(10),
+            0.3,
+            7,
+        ))
+    }
+
+    #[test]
+    fn packet_len_is_quarter_slot() {
+        assert_eq!(qs().packet_len(), Duration::from_micros(2_500));
+    }
+
+    #[test]
+    fn custom_divisors() {
+        let params = SchedParams::new(Duration::from_millis(10), 0.3, 7);
+        let halves = QuarterSlot::with_divisor(params, 2);
+        assert_eq!(halves.packet_len(), Duration::from_micros(5_000));
+        let eighths = QuarterSlot::with_divisor(params, 8);
+        assert_eq!(eighths.packet_len(), Duration::from_micros(1_250));
+        assert!(eighths.is_aligned_local(1_250));
+        assert!(!halves.is_aligned_local(1_250));
+        // A one-slot window fits 2 halves or 8 eighths.
+        let clock = StationClock::ideal();
+        let w = vec![Window::new(Time(0), Time(10_000))];
+        let f = |t: Time| clock.reading(t);
+        let g = |l: u64| clock.time_of_reading(l);
+        assert_eq!(halves.admissible_starts(&w, f, g, 100).len(), 2);
+        assert_eq!(eighths.admissible_starts(&w, f, g, 100).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the slot")]
+    fn non_dividing_divisor_rejected() {
+        QuarterSlot::with_divisor(SchedParams::new(Duration::from_millis(10), 0.3, 7), 3);
+    }
+
+    #[test]
+    fn alignment_rounding() {
+        let q = qs();
+        assert_eq!(q.align_up_local(0), 0);
+        assert_eq!(q.align_up_local(1), 2_500);
+        assert_eq!(q.align_up_local(2_500), 2_500);
+        assert_eq!(q.align_up_local(9_999), 10_000);
+        assert!(q.is_aligned_local(7_500));
+        assert!(!q.is_aligned_local(7_501));
+    }
+
+    #[test]
+    fn admissible_starts_in_aligned_window() {
+        let q = qs();
+        let clock = StationClock::ideal();
+        // A window exactly one slot long and slot-aligned: 4 quarter
+        // starts, but the last must still fit a whole packet, so starts at
+        // 0, 2500, 5000, 7500 all fit.
+        let w = vec![Window::new(Time(10_000), Time(20_000))];
+        let starts = q.admissible_starts(
+            &w,
+            |t| clock.reading(t),
+            |l| clock.time_of_reading(l),
+            10,
+        );
+        assert_eq!(
+            starts,
+            vec![Time(10_000), Time(12_500), Time(15_000), Time(17_500)]
+        );
+    }
+
+    #[test]
+    fn misaligned_window_loses_starts() {
+        let q = qs();
+        let clock = StationClock::ideal();
+        // Window covering (10_800, 19_900): quarter points 12500, 15000,
+        // 17500 are inside; 17500+2500 = 20000 > 19900, so only two fit.
+        let w = vec![Window::new(Time(10_800), Time(19_900))];
+        let starts = q.admissible_starts(
+            &w,
+            |t| clock.reading(t),
+            |l| clock.time_of_reading(l),
+            10,
+        );
+        assert_eq!(starts, vec![Time(12_500), Time(15_000)]);
+    }
+
+    #[test]
+    fn window_shorter_than_packet_unusable() {
+        let q = qs();
+        let clock = StationClock::ideal();
+        let w = vec![Window::new(Time(0), Time(2_000))];
+        assert!(q
+            .admissible_starts(&w, |t| clock.reading(t), |l| clock.time_of_reading(l), 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn first_admissible_respects_earliest() {
+        let q = qs();
+        let clock = StationClock::ideal();
+        let w = vec![
+            Window::new(Time(0), Time(10_000)),
+            Window::new(Time(30_000), Time(40_000)),
+        ];
+        let f = |t: Time| clock.reading(t);
+        let g = |l: u64| clock.time_of_reading(l);
+        assert_eq!(q.first_admissible(&w, Time(0), f, g), Some(Time(0)));
+        assert_eq!(q.first_admissible(&w, Time(1), f, g), Some(Time(2_500)));
+        // Nothing fits after 7500 in the first window: jump to the second.
+        assert_eq!(
+            q.first_admissible(&w, Time(7_600), f, g),
+            Some(Time(30_000))
+        );
+        assert_eq!(q.first_admissible(&w, Time(38_000), f, g), None);
+    }
+
+    #[test]
+    fn offset_clock_shifts_quarter_points() {
+        let q = qs();
+        // Clock 1250 ticks ahead: local quarter-points land at global
+        // times ≡ -1250 mod 2500, i.e. 1250, 3750, ...
+        let clock = StationClock::with_offset(1_250);
+        let w = vec![Window::new(Time(0), Time(10_000))];
+        let starts = q.admissible_starts(
+            &w,
+            |t| clock.reading(t),
+            |l| clock.time_of_reading(l),
+            3,
+        );
+        assert_eq!(starts, vec![Time(1_250), Time(3_750), Time(6_250)]);
+    }
+
+    #[test]
+    fn limit_caps_results() {
+        let q = qs();
+        let clock = StationClock::ideal();
+        let w = vec![Window::new(Time(0), Time(100_000))];
+        let starts = q.admissible_starts(
+            &w,
+            |t| clock.reading(t),
+            |l| clock.time_of_reading(l),
+            5,
+        );
+        assert_eq!(starts.len(), 5);
+    }
+}

@@ -1,0 +1,138 @@
+//! A minimal generic simulation driver.
+//!
+//! Most of the project drives [`crate::events::EventQueue`]
+//! directly, but the [`Model`] trait + [`run`] loop standardize the common
+//! pattern: pop the next event, dispatch it to the model, let the model
+//! schedule follow-ups, stop at a horizon.
+
+use crate::events::EventQueue;
+use crate::time::Time;
+
+/// A simulation model driven by events of type `Self::Event`.
+pub trait Model {
+    /// Event payload type.
+    type Event;
+
+    /// Handle one event at time `now`, scheduling any follow-up events.
+    fn handle(&mut self, now: Time, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Outcome of a [`run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of events dispatched.
+    pub events_processed: u64,
+    /// Time of the last dispatched event (queue position at exit).
+    pub final_time: Time,
+    /// True when the run stopped because the queue drained.
+    pub drained: bool,
+}
+
+/// Run `model` until the queue drains or the next event is past `horizon`.
+///
+/// Events exactly at the horizon are processed; events after it are left in
+/// the queue (so a model can be resumed).
+pub fn run<M: Model>(
+    model: &mut M,
+    queue: &mut EventQueue<M::Event>,
+    horizon: Time,
+) -> RunSummary {
+    let mut processed = 0u64;
+    loop {
+        match queue.peek_time() {
+            None => {
+                return RunSummary {
+                    events_processed: processed,
+                    final_time: queue.now(),
+                    drained: true,
+                }
+            }
+            Some(t) if t > horizon => {
+                return RunSummary {
+                    events_processed: processed,
+                    final_time: queue.now(),
+                    drained: false,
+                }
+            }
+            Some(_) => {
+                let (now, ev) = queue.pop().expect("peeked event vanished");
+                model.handle(now, ev, queue);
+                processed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    /// A model that re-schedules itself `remaining` times at fixed spacing.
+    struct Ticker {
+        remaining: u32,
+        fired_at: Vec<Time>,
+    }
+
+    impl Model for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: Time, _: (), q: &mut EventQueue<()>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                q.schedule(now + Duration::from_secs(1), ());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_until_drained() {
+        let mut m = Ticker {
+            remaining: 3,
+            fired_at: vec![],
+        };
+        let mut q = EventQueue::new();
+        q.schedule(Time::ZERO, ());
+        let s = run(&mut m, &mut q, Time::MAX);
+        assert!(s.drained);
+        assert_eq!(s.events_processed, 4);
+        assert_eq!(
+            m.fired_at,
+            vec![
+                Time::ZERO,
+                Time::from_secs(1),
+                Time::from_secs(2),
+                Time::from_secs(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn horizon_stops_run_and_preserves_queue() {
+        let mut m = Ticker {
+            remaining: 100,
+            fired_at: vec![],
+        };
+        let mut q = EventQueue::new();
+        q.schedule(Time::ZERO, ());
+        let s = run(&mut m, &mut q, Time::from_secs(5));
+        assert!(!s.drained);
+        assert_eq!(s.events_processed, 6); // t=0..=5
+        assert_eq!(q.len(), 1); // t=6 still pending
+        // Resume to t=7.
+        let s2 = run(&mut m, &mut q, Time::from_secs(7));
+        assert_eq!(s2.events_processed, 2);
+    }
+
+    #[test]
+    fn empty_queue_returns_immediately() {
+        let mut m = Ticker {
+            remaining: 0,
+            fired_at: vec![],
+        };
+        let mut q = EventQueue::new();
+        let s = run(&mut m, &mut q, Time::from_secs(1));
+        assert!(s.drained);
+        assert_eq!(s.events_processed, 0);
+    }
+}

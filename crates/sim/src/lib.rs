@@ -1,0 +1,32 @@
+//! `parn-sim`: deterministic discrete-event simulation substrate.
+//!
+//! This crate supplies the simulation machinery the rest of the `parn`
+//! workspace is built on:
+//!
+//! * [`time`] — integer-tick simulated [`time::Time`] and
+//!   [`time::Duration`];
+//! * [`events`] — a deterministic future-event list with FIFO tie-breaking;
+//! * [`engine`] — a minimal model/driver loop;
+//! * [`rng`] — a self-contained, seedable xoshiro256** generator with named
+//!   substreams so every run is bit-reproducible;
+//! * [`stats`] — tallies, histograms and time-weighted averages;
+//! * [`trace`] — a bounded in-memory trace.
+//!
+//! Design note: the simulator is intentionally *synchronous and
+//! single-threaded*. A discrete-event radio simulation is CPU-bound and
+//! needs a total order over events; an async runtime would add overhead and
+//! nondeterminism for no benefit (see DESIGN.md §2).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{run, Model, RunSummary};
+pub use events::EventQueue;
+pub use rng::Rng;
+pub use time::{Duration, Time};

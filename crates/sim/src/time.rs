@@ -1,0 +1,292 @@
+//! Simulation time.
+//!
+//! Time is an integer count of *ticks* (1 tick = 1 microsecond of simulated
+//! time). Integer time gives the event queue a total order with no
+//! floating-point drift, which is what makes runs bit-reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// Number of ticks in one simulated second.
+pub const TICKS_PER_SECOND: u64 = 1_000_000;
+
+/// An absolute instant of simulated time, in ticks since the start of the
+/// simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in ticks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Time {
+    /// The beginning of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (used as an "infinite" horizon).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from whole seconds of simulated time.
+    pub fn from_secs(s: u64) -> Time {
+        Time(s * TICKS_PER_SECOND)
+    }
+
+    /// Construct from (possibly fractional) seconds. Rounds to nearest tick.
+    pub fn from_secs_f64(s: f64) -> Time {
+        debug_assert!(s >= 0.0, "negative time");
+        Time((s * TICKS_PER_SECOND as f64).round() as u64)
+    }
+
+    /// The instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Ticks since time zero.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Duration since an earlier instant. Panics (in debug) if `earlier`
+    /// is actually later.
+    pub fn since(self, earlier: Time) -> Duration {
+        debug_assert!(self >= earlier, "time went backwards");
+        Duration(self.0 - earlier.0)
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: Duration) -> Time {
+        Time(self.0.saturating_sub(d.0))
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(self, d: Duration) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
+}
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable span.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Duration {
+        Duration(s * TICKS_PER_SECOND)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Duration {
+        Duration(ms * (TICKS_PER_SECOND / 1000))
+    }
+
+    /// Construct from whole microseconds (= ticks).
+    pub fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// Construct from fractional seconds. Rounds to nearest tick.
+    pub fn from_secs_f64(s: f64) -> Duration {
+        debug_assert!(s >= 0.0, "negative duration");
+        Duration((s * TICKS_PER_SECOND as f64).round() as u64)
+    }
+
+    /// The span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Ticks in the span.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// True when the span is empty.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by a non-negative float, rounding to nearest tick.
+    pub fn mul_f64(self, k: f64) -> Duration {
+        debug_assert!(k >= 0.0, "negative scale");
+        Duration((self.0 as f64 * k).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, d: Duration) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, d: Duration) -> Time {
+        Time(self.0 - d.0)
+    }
+}
+
+impl SubAssign<Duration> for Time {
+    fn sub_assign(&mut self, d: Duration) {
+        self.0 -= d.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, other: Time) -> Duration {
+        self.since(other)
+    }
+}
+
+impl Rem<Duration> for Time {
+    type Output = Duration;
+    fn rem(self, d: Duration) -> Duration {
+        Duration(self.0 % d.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, other: Duration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, other: Duration) -> Duration {
+        debug_assert!(self >= other, "duration underflow");
+        Duration(self.0 - other.0)
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, k: u64) -> Duration {
+        Duration(self.0 / k)
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = u64;
+    fn div(self, other: Duration) -> u64 {
+        self.0 / other.0
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = Time::from_secs_f64(1.25);
+        assert_eq!(t.ticks(), 1_250_000);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let d = Duration::from_millis(3);
+        assert_eq!(d.ticks(), 3000);
+        assert!((d.as_secs_f64() - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_secs(1);
+        let d = Duration::from_millis(500);
+        assert_eq!(t + d, Time(1_500_000));
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = Duration::from_secs(2);
+        assert_eq!(d * 3, Duration::from_secs(6));
+        assert_eq!(d / 4, Duration::from_millis(500));
+        assert_eq!(d.mul_f64(0.25), Duration::from_millis(500));
+        assert_eq!(Duration::from_secs(7) / Duration::from_secs(2), 3);
+    }
+
+    #[test]
+    fn rem_gives_phase() {
+        let slot = Duration::from_millis(10);
+        let t = Time(25_000); // 25 ms
+        assert_eq!(t % slot, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time(5).saturating_sub(Duration(10)), Time::ZERO);
+        assert_eq!(Duration(5).saturating_sub(Duration(10)), Duration::ZERO);
+        assert_eq!(Time::MAX.checked_add(Duration(1)), None);
+        assert_eq!(Time(1).checked_add(Duration(1)), Some(Time(2)));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time(1) < Time(2));
+        assert!(Duration(3) > Duration(2));
+        assert!(!Duration(1).is_zero());
+        assert!(Duration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Time::from_secs(1)), "1.000000s");
+        assert_eq!(format!("{}", Duration::from_millis(1)), "0.001000s");
+    }
+}

@@ -1,0 +1,207 @@
+//! Lightweight event tracing.
+//!
+//! A bounded in-memory trace of `(time, category, message)` records. Traces
+//! are cheap to keep off (a disabled tracer does no formatting) and useful
+//! both in tests (assert that an event sequence occurred) and when debugging
+//! protocol behaviour.
+
+use crate::time::Time;
+use std::fmt;
+
+/// Severity/kind of a trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Verbose per-event detail.
+    Debug,
+    /// Normal protocol milestones.
+    Info,
+    /// Anomalies worth surfacing.
+    Warn,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Simulated time of the event.
+    pub time: Time,
+    /// Record severity.
+    pub level: Level,
+    /// Static category tag (e.g. `"mac"`, `"phy"`).
+    pub category: &'static str,
+    /// Rendered message.
+    pub message: String,
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {:?} {}] {}",
+            self.time, self.level, self.category, self.message
+        )
+    }
+}
+
+/// A bounded ring-buffer trace sink.
+pub struct Tracer {
+    enabled: bool,
+    min_level: Level,
+    capacity: usize,
+    records: Vec<Record>,
+    dropped: u64,
+    echo: bool,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that stores nothing.
+    pub fn disabled() -> Tracer {
+        Tracer {
+            enabled: false,
+            min_level: Level::Warn,
+            capacity: 0,
+            records: Vec::new(),
+            dropped: 0,
+            echo: false,
+        }
+    }
+
+    /// A tracer keeping the last `capacity` records at or above `min_level`.
+    pub fn new(capacity: usize, min_level: Level) -> Tracer {
+        Tracer {
+            enabled: true,
+            min_level,
+            capacity,
+            records: Vec::new(),
+            dropped: 0,
+            echo: false,
+        }
+    }
+
+    /// Also print each record to stdout as it is traced.
+    pub fn with_echo(mut self) -> Tracer {
+        self.echo = true;
+        self
+    }
+
+    /// Whether records at `level` would be kept — callers can use this to
+    /// skip building expensive messages.
+    #[inline]
+    pub fn wants(&self, level: Level) -> bool {
+        self.enabled && level >= self.min_level
+    }
+
+    /// Record an event. `message` is only invoked when the record is kept.
+    pub fn emit<F: FnOnce() -> String>(
+        &mut self,
+        time: Time,
+        level: Level,
+        category: &'static str,
+        message: F,
+    ) {
+        if !self.wants(level) {
+            return;
+        }
+        let rec = Record {
+            time,
+            level,
+            category,
+            message: message(),
+        };
+        if self.echo {
+            println!("{rec}");
+        }
+        if self.records.len() >= self.capacity {
+            // Ring behaviour: drop the oldest.
+            if !self.records.is_empty() {
+                self.records.remove(0);
+            }
+            self.dropped += 1;
+        }
+        if self.capacity > 0 {
+            self.records.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Records filtered by category.
+    pub fn by_category(&self, category: &str) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| r.category == category)
+            .collect()
+    }
+
+    /// Number of records dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_stores_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(Time(1), Level::Warn, "x", || "boom".into());
+        assert!(t.records().is_empty());
+        assert!(!t.wants(Level::Warn));
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Tracer::new(10, Level::Info);
+        t.emit(Time(1), Level::Debug, "a", || "d".into());
+        t.emit(Time(2), Level::Info, "a", || "i".into());
+        t.emit(Time(3), Level::Warn, "b", || "w".into());
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[0].message, "i");
+        assert_eq!(t.by_category("b").len(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = Tracer::new(3, Level::Debug);
+        for i in 0..5 {
+            t.emit(Time(i), Level::Info, "c", || format!("m{i}"));
+        }
+        assert_eq!(t.records().len(), 3);
+        assert_eq!(t.records()[0].message, "m2");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn lazy_message_not_built_when_filtered() {
+        let mut t = Tracer::new(10, Level::Warn);
+        let mut called = false;
+        t.emit(Time(1), Level::Debug, "c", || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = Record {
+            time: Time::from_secs(1),
+            level: Level::Info,
+            category: "mac",
+            message: "hello".into(),
+        };
+        assert_eq!(format!("{r}"), "[1.000000s Info mac] hello");
+    }
+}

@@ -1,0 +1,73 @@
+//! Metro-scale capacity study (paper §4 + conclusion).
+//!
+//! ```sh
+//! cargo run --release --example metro_capacity
+//! ```
+//!
+//! Pure analytics — no event simulation — answering the paper's headline
+//! question: *can packet radio scale to a metropolitan area?* Prints the
+//! decline of SNR with station count (Figure 1's curves), the resulting
+//! Shannon rates, and the projected per-station rates for a million-station
+//! metro under various spectrum allocations.
+
+use parn::phys::linkbudget::SystemDesign;
+use parn::phys::noise::{snr_vs_scale_db, relative_net_throughput};
+use parn::phys::shannon::spectral_efficiency;
+use parn::phys::units::snr_from_db;
+
+fn main() {
+    println!("== SNR decline with scale (Eq. 15: S/N = 1/(pi * eta * ln M)) ==\n");
+    println!("{:>14} | {:>9} {:>9} {:>9} {:>9} {:>9}", "stations", "eta=0.05", "0.1", "0.2", "0.5", "1.0");
+    for decade in [2u32, 4, 6, 8, 10, 12] {
+        let m = 10f64.powi(decade as i32);
+        let row: Vec<String> = [0.05, 0.1, 0.2, 0.5, 1.0]
+            .iter()
+            .map(|&eta| format!("{:>8.1}dB", snr_vs_scale_db(eta, m)))
+            .collect();
+        println!("{:>14} | {}", format!("10^{decade}"), row.join(" "));
+    }
+
+    println!("\n== Shannon capacity at din-limited SNR ==\n");
+    for (label, db) in [("-20 dB (eta=1.0, M=1e12)", -20.0), ("-14 dB (eta=0.25)", -14.0), ("-10 dB (eta=0.25, M=1e6)", -10.4)] {
+        let eff = spectral_efficiency(snr_from_db(db));
+        println!(
+            "  SNR {label:<26} C/W = {:.4} bit/s/Hz  ({:.0} bit/s per kHz)",
+            eff,
+            eff * 1e3
+        );
+    }
+
+    println!("\n== Duty cycle is throughput-neutral in the din (Sec. 4) ==\n");
+    println!("  relative net throughput at M = 10^12 (eta = 1 defines 1.00):");
+    for eta in [1.0, 0.5, 0.25, 0.1, 0.05] {
+        println!(
+            "    eta = {:>5}  ->  {:.3}",
+            eta,
+            relative_net_throughput(eta, 1e12)
+        );
+    }
+
+    println!("\n== Metro projection: 10^6 stations, eta = 0.25 ==\n");
+    println!(
+        "{:>12} | {:>14} {:>16} {:>16} {:>14}",
+        "bandwidth", "din SNR (dB)", "raw rate (proj.)", "raw rate (eng.)", "proc gain"
+    );
+    for w_mhz in [10.0, 100.0, 500.0, 1500.0] {
+        let d = SystemDesign::metro(1e6, w_mhz * 1e6);
+        println!(
+            "{:>9} MHz | {:>14.1} {:>13.1} Mb/s {:>13.2} Mb/s {:>11.1} dB",
+            w_mhz,
+            10.0 * d.din_snr().log10(),
+            d.projection_rate_bps() / 1e6,
+            d.raw_rate_bps() / 1e6,
+            d.processing_gain_db(),
+        );
+    }
+    println!(
+        "\nWith ~1.5 GHz of spectrum (a modest fraction of the usable radio\n\
+         spectrum) and Shannon-achieving detection, a million-station metro\n\
+         sustains raw per-station rates in the hundreds of Mb/s — the\n\
+         abstract's claim. The engineered rate column applies the 5 dB\n\
+         detection margin and 6 dB range margin of Sec. 6."
+    );
+}

@@ -1,0 +1,94 @@
+//! Quickstart: run a 100-station Shepard network and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [n] [seed]
+//! ```
+//!
+//! Builds the paper's default scenario (uniform disk at 1 station per
+//! 100 m², 100 kb/s in 10 MHz of spread spectrum, 10 ms slots at a 30%
+//! receive duty cycle, minimum-energy routing), runs 20 simulated seconds
+//! of Poisson traffic, and reports deliveries, delays — and the collision
+//! counters, which stay at zero.
+
+use parn::core::{LossCause, NetConfig, Network};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("n must be an integer"))
+        .unwrap_or(100);
+    let seed: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seed must be an integer"))
+        .unwrap_or(1996);
+
+    println!("building a {n}-station network (seed {seed})...");
+    let cfg = NetConfig::paper_default(n, seed);
+    println!(
+        "  design rate {} kb/s in {} MHz  (processing gain {:.1} dB, SINR threshold {:.1} dB)",
+        cfg.criterion.rate_bps / 1e3,
+        cfg.criterion.bandwidth_hz / 1e6,
+        cfg.criterion.processing_gain_db().value(),
+        10.0 * cfg.sinr_threshold().log10(),
+    );
+    println!(
+        "  slots {:.0} ms at receive duty cycle p = {}, packets = quarter slot",
+        cfg.sched.slot.as_secs_f64() * 1e3,
+        cfg.sched.rx_prob,
+    );
+
+    let metrics = Network::run(cfg);
+
+    println!("\nafter 20 simulated seconds:");
+    println!("  generated        {:>8}", metrics.generated);
+    println!(
+        "  delivered        {:>8}  ({:.1}% of settled)",
+        metrics.delivered,
+        100.0 * metrics.delivery_rate()
+    );
+    println!("  hop attempts     {:>8}", metrics.hop_attempts);
+    println!(
+        "  hop success rate {:>8.3}%",
+        100.0 * metrics.hop_success_rate()
+    );
+    println!(
+        "  mean end-to-end delay {:.1} ms over {:.1} hops avg",
+        metrics.e2e_delay.mean() * 1e3,
+        metrics.hops_per_packet.mean()
+    );
+    println!(
+        "  mean per-hop wait {:.2} slots (paper's Bernoulli model: 4.76)",
+        metrics.hop_wait_slots.mean().unwrap_or(0.0)
+    );
+    println!("  goodput          {:>8.0} bit/s", metrics.goodput_bps());
+    println!(
+        "  mean tx duty     {:>8.1}%",
+        100.0 * metrics.mean_tx_duty()
+    );
+
+    println!("\nloss accounting:");
+    for (label, cause) in [
+        ("type 1 collisions", LossCause::CollisionType1),
+        ("type 2 collisions", LossCause::CollisionType2),
+        ("type 3 collisions", LossCause::CollisionType3),
+        ("despreader limit ", LossCause::DespreaderExhausted),
+        ("din (link budget)", LossCause::Din),
+    ] {
+        println!(
+            "  {label} {:>8}",
+            metrics.losses.get(&cause).copied().unwrap_or(0)
+        );
+    }
+    println!(
+        "  schedule violations {:>5}  (must be 0)",
+        metrics.schedule_violations
+    );
+
+    assert_eq!(
+        metrics.collision_losses(),
+        0,
+        "the collision-free property failed!"
+    );
+    println!("\ncollision-free: OK");
+}

@@ -1,0 +1,34 @@
+//! `parn` — a reproduction of Timothy J. Shepard's *"A Channel Access
+//! Scheme for Large Dense Packet Radio Networks"* (ACM SIGCOMM 1996) as a
+//! Rust workspace.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`phys`] — radio physics: propagation, gains, Shannon criterion,
+//!   noise-growth analytics, SINR tracking;
+//! * [`sim`] — deterministic discrete-event simulation;
+//! * [`sched`] — pseudo-random transmit/receive schedules and clocks;
+//! * [`route`] — minimum-energy routing;
+//! * [`core`] — the channel access scheme and full network simulator;
+//! * [`baseline`] — ALOHA/CSMA/MACA under the same physical model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use parn::core::{NetConfig, Network};
+//!
+//! let mut cfg = NetConfig::paper_default(30, 42);
+//! cfg.run_for = parn::sim::Duration::from_secs(4);
+//! cfg.warmup = parn::sim::Duration::from_secs(1);
+//! let metrics = Network::run(cfg);
+//! // The headline property: zero packet loss from collisions.
+//! assert_eq!(metrics.collision_losses(), 0);
+//! println!("{}", metrics.summary());
+//! ```
+
+pub use parn_baseline as baseline;
+pub use parn_core as core;
+pub use parn_phys as phys;
+pub use parn_route as route;
+pub use parn_sched as sched;
+pub use parn_sim as sim;

@@ -1,0 +1,85 @@
+//! End-to-end tests of the `parn` command-line binary.
+
+use std::process::Command;
+
+fn parn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parn"))
+}
+
+#[test]
+fn run_reports_collision_free() {
+    let out = parn()
+        .args(["run", "--stations", "25", "--secs", "4", "--rate", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("collision-free: OK"), "{stdout}");
+    assert!(stdout.contains("type 1 collisions  0"), "{stdout}");
+}
+
+#[test]
+fn run_with_failures_accounts_losses() {
+    let out = parn()
+        .args([
+            "run",
+            "--stations",
+            "30",
+            "--secs",
+            "6",
+            "--rate",
+            "3",
+            "--fail",
+            "2:4",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("station failed"), "{stdout}");
+}
+
+#[test]
+fn capacity_prints_projection() {
+    let out = parn()
+        .args(["capacity", "--bandwidth-mhz", "1500"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("projected raw"), "{stdout}");
+    assert!(stdout.contains("din SNR"), "{stdout}");
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = parn().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = parn().arg("explode").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn no_args_shows_usage_and_fails() {
+    let out = parn().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn deterministic_across_invocations() {
+    let run = || {
+        let out = parn()
+            .args(["run", "--stations", "20", "--secs", "3", "--seed", "99"])
+            .output()
+            .expect("binary runs");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(run(), run());
+}

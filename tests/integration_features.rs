@@ -1,0 +1,119 @@
+//! Cross-feature integration tests: combinations of the optional
+//! mechanisms (failures, piggyback sync, shadowing, distributed routing,
+//! SIC) running together.
+
+use parn::core::{DestPolicy, NetConfig, Network, SyncMode};
+use parn::sim::Duration;
+
+fn base(n: usize, seed: u64) -> NetConfig {
+    let mut c = NetConfig::paper_default(n, seed);
+    c.run_for = Duration::from_secs(10);
+    c.warmup = Duration::from_secs(1);
+    c
+}
+
+#[test]
+fn failures_under_piggyback_sync() {
+    // Realistic maintenance *and* station churn at once: hellos must keep
+    // models fresh for new routing neighbours after the heal.
+    let mut c = base(50, 61);
+    c.clock.sync = SyncMode::Piggyback {
+        hello_interval: Duration::from_secs(1),
+    };
+    c.clock.max_ppm = 50.0;
+    c.failures = vec![(Duration::from_secs(4), 7)];
+    let m = Network::run(c);
+    assert!(m.delivered > 200, "{}", m.summary());
+    assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+    assert!(m.hellos_sent > 100);
+}
+
+#[test]
+fn shadowing_with_failures_heals_over_shadowed_graph() {
+    let mut c = base(60, 67);
+    c.shadowing_sigma_db = 6.0;
+    c.reach_factor = 3.0;
+    c.failures = vec![
+        (Duration::from_secs(3), 5),
+        (Duration::from_secs(5), 23),
+    ];
+    let m = Network::run(c);
+    assert!(m.delivered > 200, "{}", m.summary());
+    assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+}
+
+#[test]
+fn distributed_routing_with_drift_and_neighbor_traffic() {
+    let mut c = base(40, 71);
+    c.distributed_routing = true;
+    c.clock.max_ppm = 150.0;
+    c.traffic.dest = DestPolicy::Neighbors;
+    let m = Network::run(c);
+    assert!(m.delivered > 100, "{}", m.summary());
+    assert_eq!(m.collision_losses(), 0);
+    assert_eq!(m.schedule_violations, 0);
+    assert!((m.hops_per_packet.mean() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn everything_on_at_once() {
+    // The kitchen sink: shadowed propagation, piggyback sync, drift,
+    // a failure, distributed routing. The invariants must still hold.
+    let mut c = base(50, 73);
+    c.shadowing_sigma_db = 4.0;
+    c.reach_factor = 3.0;
+    c.distributed_routing = true;
+    c.clock.sync = SyncMode::Piggyback {
+        hello_interval: Duration::from_secs(2),
+    };
+    c.clock.max_ppm = 80.0;
+    c.failures = vec![(Duration::from_secs(5), 11)];
+    let m = Network::run(c.clone());
+    assert!(m.delivered > 100, "{}", m.summary());
+    assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+    // Ledger still balances: every failed hop has a recorded cause.
+    // (With failures injected, *additional* losses exist that never were
+    // hop attempts: queue drops at the dead station and unroutable drops
+    // at reroute time — so ≤, not =.)
+    assert!(
+        m.hop_attempts - m.hop_successes <= m.total_losses(),
+        "{}",
+        m.summary()
+    );
+    // And the whole pile is still deterministic.
+    let m2 = Network::run(c);
+    assert_eq!(m.delivered, m2.delivered);
+    assert_eq!(m.hop_attempts, m2.hop_attempts);
+    assert_eq!(m.hellos_sent, m2.hellos_sent);
+}
+
+#[test]
+fn sync_none_with_zero_drift_is_fine() {
+    // No maintenance at all is harmless when clocks are perfect: the boot
+    // sample is exact forever.
+    let mut c = base(30, 79);
+    c.clock.sync = SyncMode::None;
+    c.clock.max_ppm = 0.0;
+    let m = Network::run(c);
+    assert!(m.delivered > 100, "{}", m.summary());
+    assert_eq!(m.collision_losses(), 0);
+    assert_eq!(m.schedule_violations, 0);
+}
+
+#[test]
+fn sync_none_with_drift_degrades_visibly() {
+    // The same starvation with real drift must surface as violations
+    // and/or losses — never as silent corruption.
+    let mut c = base(30, 83);
+    c.clock.sync = SyncMode::None;
+    c.clock.max_ppm = 150.0;
+    c.run_for = Duration::from_secs(20);
+    let m = Network::run(c);
+    assert!(
+        m.schedule_violations > 0 || m.total_losses() > 0,
+        "starved sync with drift should be visible: {}",
+        m.summary()
+    );
+    // The ledger still balances even in degradation.
+    assert_eq!(m.hop_attempts - m.hop_successes, m.total_losses());
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests of the full channel access scheme —
+//! the paper's headline properties exercised end-to-end.
+
+use parn::core::{DestPolicy, LossCause, NetConfig, Network};
+use parn::sim::Duration;
+
+fn cfg(n: usize, seed: u64) -> NetConfig {
+    let mut c = NetConfig::paper_default(n, seed);
+    c.run_for = Duration::from_secs(8);
+    c.warmup = Duration::from_secs(1);
+    c
+}
+
+#[test]
+fn collision_free_at_100_stations() {
+    // The paper's smaller simulated scale, full multihop traffic.
+    let mut c = cfg(100, 1);
+    c.traffic.arrivals_per_station_per_sec = 2.0;
+    let m = Network::run(c);
+    assert!(m.generated > 500, "generated {}", m.generated);
+    assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+    assert_eq!(m.total_losses(), 0, "{}", m.summary());
+    assert_eq!(m.schedule_violations, 0);
+    assert!((m.hop_success_rate() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn collision_free_under_heavy_load() {
+    let mut c = cfg(60, 2);
+    c.traffic.arrivals_per_station_per_sec = 10.0;
+    let m = Network::run(c);
+    assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+    assert!(m.delivered > 1000);
+}
+
+#[test]
+fn single_transmission_per_hop() {
+    // "at each hop ... no per-packet transmissions other than the single
+    // transmission used to convey the packet": with zero losses there are
+    // no retransmissions, so hop attempts equal hop successes and the
+    // air-time spent equals attempts × packet airtime exactly.
+    let mut c = cfg(50, 3);
+    c.traffic.arrivals_per_station_per_sec = 2.0;
+    let airtime = c.packet_airtime().as_secs_f64();
+    let m = Network::run(c);
+    assert_eq!(m.retransmissions, 0);
+    assert_eq!(m.hop_attempts, m.hop_successes);
+    let total_air: f64 = m.tx_airtime.iter().sum();
+    let expected = m.hop_attempts as f64 * airtime;
+    // tx_airtime is gated on transmission-start measurement, hop_attempts
+    // on packet-creation measurement, so allow edge slack around warmup.
+    assert!(
+        (total_air - expected).abs() / expected < 0.05,
+        "air {total_air} vs {expected}"
+    );
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let a = Network::run(cfg(40, 9));
+    let b = Network::run(cfg(40, 9));
+    assert_eq!(a.generated, b.generated);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.hop_attempts, b.hop_attempts);
+    assert_eq!(a.retransmissions, b.retransmissions);
+    assert!((a.e2e_delay.mean() - b.e2e_delay.mean()).abs() < 1e-12);
+    assert!((a.goodput_bps() - b.goodput_bps()).abs() < 1e-9);
+}
+
+#[test]
+fn survives_strong_clock_drift() {
+    let mut c = cfg(40, 4);
+    c.clock.max_ppm = 200.0;
+    c.traffic.arrivals_per_station_per_sec = 3.0;
+    let m = Network::run(c);
+    assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+    assert_eq!(m.schedule_violations, 0);
+}
+
+#[test]
+fn neighbor_only_traffic_single_hop_delays_match_model() {
+    // At near-zero load with single-hop traffic the per-hop wait follows
+    // the geometric model of §7.2 within a factor band.
+    let mut c = cfg(40, 5);
+    c.traffic.arrivals_per_station_per_sec = 0.2;
+    c.traffic.dest = DestPolicy::Neighbors;
+    c.run_for = Duration::from_secs(30);
+    let m = Network::run(c);
+    let wait = m.hop_wait_slots.mean().expect("no samples");
+    assert!(
+        (2.0..=9.0).contains(&wait),
+        "wait {wait} slots vs model 4.76"
+    );
+    assert_eq!(m.collision_losses(), 0);
+}
+
+#[test]
+fn losses_never_silent() {
+    // Under a pathological configuration (almost no processing gain) the
+    // scheme *will* lose packets — but every loss must carry a cause and
+    // the ledger must balance: generated = delivered + dropped + in flight.
+    let mut c = cfg(50, 6);
+    c.criterion = parn::phys::ReceptionCriterion {
+        rate_bps: 5e5,
+        bandwidth_hz: 1e6,
+        margin: 3.0,
+    };
+    c.traffic.arrivals_per_station_per_sec = 8.0;
+    c.max_retries = 2;
+    let m = Network::run(c);
+    if m.hop_successes < m.hop_attempts {
+        assert!(m.total_losses() > 0, "losses occurred but none recorded");
+    }
+    assert!(m.delivered + m.in_flight_at_end <= m.generated);
+}
+
+#[test]
+fn despreader_starvation_is_accounted() {
+    // One despreading channel and converging traffic: simultaneous
+    // receptions beyond the first must be recorded as DespreaderExhausted,
+    // not silently dropped.
+    let mut c = cfg(30, 7);
+    c.despreaders = 1;
+    c.traffic.arrivals_per_station_per_sec = 12.0;
+    let m = Network::run(c);
+    let despreader = m
+        .losses
+        .get(&LossCause::DespreaderExhausted)
+        .copied()
+        .unwrap_or(0);
+    // Whether any occur depends on topology, but if attempts failed, the
+    // cause must be recorded.
+    assert_eq!(
+        m.hop_attempts - m.hop_successes,
+        m.total_losses(),
+        "ledger imbalance: {}",
+        m.summary()
+    );
+    // With 8 despreaders (default) the same scenario has none.
+    let mut c8 = cfg(30, 7);
+    c8.traffic.arrivals_per_station_per_sec = 12.0;
+    let m8 = Network::run(c8);
+    let despreader8 = m8
+        .losses
+        .get(&LossCause::DespreaderExhausted)
+        .copied()
+        .unwrap_or(0);
+    assert!(despreader8 <= despreader);
+}
+
+#[test]
+fn protection_rule_reduces_close_in_interference() {
+    // Clustered placement puts stations very close together; without the
+    // §7.3 rule, close-in transmissions can dip receptions below
+    // threshold. The full scheme must stay clean.
+    let mut on = cfg(80, 8);
+    on.placement = parn::phys::placement::Placement::Clustered {
+        clusters: 8,
+        per_cluster: 10,
+        sigma: 10.0,
+        radius: 140.0,
+    };
+    on.traffic.arrivals_per_station_per_sec = 5.0;
+    let mut off = on.clone();
+    off.protection.enabled = false;
+    let m_on = Network::run(on);
+    let m_off = Network::run(off);
+    assert_eq!(m_on.collision_losses(), 0, "{}", m_on.summary());
+    assert!(
+        m_off.collision_losses() >= m_on.collision_losses(),
+        "protection made things worse: {} vs {}",
+        m_off.collision_losses(),
+        m_on.collision_losses()
+    );
+}
