@@ -91,9 +91,7 @@ impl Aloha {
     /// Seed initial arrivals.
     pub fn prime(&mut self, queue: &mut EventQueue<Event>) {
         for s in 0..self.stations.len() {
-            if !self.sc.neighbors[s].is_empty()
-                && self.sc.cfg.arrivals_per_station_per_sec > 0.0
-            {
+            if !self.sc.neighbors[s].is_empty() && self.sc.cfg.arrivals_per_station_per_sec > 0.0 {
                 let dt = self.sc.next_interarrival();
                 queue.schedule(Time::ZERO + dt, Event::Arrival { station: s });
             }
@@ -113,8 +111,7 @@ impl Aloha {
     /// Finalize metrics.
     pub fn finish(mut self) -> Metrics {
         let settled = self.sc.metrics.delivered + self.dropped;
-        self.sc.metrics.in_flight_at_end =
-            self.sc.metrics.generated.saturating_sub(settled);
+        self.sc.metrics.in_flight_at_end = self.sc.metrics.generated.saturating_sub(settled);
         self.sc.metrics
     }
 
@@ -159,8 +156,8 @@ impl Aloha {
         if self.sc.measured(now) {
             let airtime = self.sc.cfg.airtime;
             self.sc.metrics.tx_airtime[s] += airtime.as_secs_f64();
-            let wait = now.since(packet.enqueued).ticks() as f64
-                / self.sc.cfg.airtime.ticks() as f64;
+            let wait =
+                now.since(packet.enqueued).ticks() as f64 / self.sc.cfg.airtime.ticks() as f64;
             self.sc.metrics.hop_wait_slots.add(wait.min(99.0));
         }
         queue.schedule(
@@ -220,8 +217,7 @@ impl Aloha {
                 self.sc.metrics.delivered += 1;
                 self.sc.metrics.e2e_delay.add(packet.age(now).as_secs_f64());
                 self.sc.metrics.hops_per_packet.add(1.0);
-                let bits = self.sc.cfg.criterion.rate_bps
-                    * self.sc.cfg.airtime.as_secs_f64();
+                let bits = self.sc.cfg.criterion.rate_bps * self.sc.cfg.airtime.as_secs_f64();
                 self.sc.metrics.bits_delivered += bits;
             }
         } else {
@@ -231,10 +227,7 @@ impl Aloha {
                         let (_, cause) = classify(rep);
                         self.sc.metrics.record_loss(cause);
                     }
-                    None => self
-                        .sc
-                        .metrics
-                        .record_loss(LossCause::DespreaderExhausted),
+                    None => self.sc.metrics.record_loss(LossCause::DespreaderExhausted),
                 }
             }
             if attempts <= self.sc.cfg.max_retries {

@@ -7,11 +7,13 @@
 //! packets to collisions, the schedule-based scheme loses none.
 
 use parn_core::power::PowerPolicy;
-use parn_core::Metrics;
+use parn_core::{Metrics, PhyBackend};
 use parn_phys::placement::{density, Placement};
 use parn_phys::propagation::FreeSpace;
 use parn_phys::sinr::SinrTracker;
-use parn_phys::{Gain, GainMatrix, PowerW, ReceptionCriterion, StationId};
+use parn_phys::{
+    Gain, GainMatrix, GainModel, GridGainModel, PowerW, ReceptionCriterion, StationId,
+};
 use parn_sim::{Duration, Rng, Time};
 use std::sync::Arc;
 
@@ -75,6 +77,10 @@ pub struct BaselineConfig {
     pub max_retries: u32,
     /// The MAC under test.
     pub mac: MacKind,
+    /// PHY gain backend (dense reference matrix or spatial index) — the
+    /// same selector the scheme uses, so baseline-vs-scheme comparisons
+    /// stay apples-to-apples at any scale.
+    pub phy_backend: PhyBackend,
     /// Run length.
     pub run_for: Duration,
     /// Warmup excluded from statistics.
@@ -105,6 +111,7 @@ impl BaselineConfig {
             mean_backoff: Duration::from_millis(20),
             max_retries: 10,
             mac,
+            phy_backend: PhyBackend::Dense,
             run_for: Duration::from_secs(20),
             warmup: Duration::from_secs(2),
         }
@@ -115,8 +122,8 @@ impl BaselineConfig {
 pub struct Scenario {
     /// Scenario config.
     pub cfg: BaselineConfig,
-    /// Pairwise gains.
-    pub gains: Arc<GainMatrix>,
+    /// Pairwise gains (dense matrix or spatial index, per the config).
+    pub gains: Arc<dyn GainModel>,
     /// The interference bookkeeper.
     pub tracker: SinrTracker,
     /// In-range neighbours of each station.
@@ -142,15 +149,25 @@ impl Scenario {
         let positions = cfg.placement.generate(&mut rng_place);
         let n = positions.len();
         assert!(n >= 2, "need at least two stations");
-        let gains = Arc::new(GainMatrix::build(&positions, &FreeSpace::unit()));
+        let gains: Arc<dyn GainModel> = match &cfg.phy_backend {
+            PhyBackend::Dense => Arc::new(GainMatrix::build(&positions, &FreeSpace::unit())),
+            PhyBackend::Grid { .. } => {
+                Arc::new(GridGainModel::new(&positions, Box::new(FreeSpace::unit())))
+            }
+        };
         let region = cfg.placement.region();
         let rho = density(&positions, &region);
         let reach = cfg.reach_factor / rho.sqrt();
         let usable = Gain(1.0 / (reach * reach));
-        let neighbors: Vec<Vec<StationId>> =
-            (0..n).map(|s| gains.hearable_by(s, usable)).collect();
-        let tracker =
+        let neighbors: Vec<Vec<StationId>> = (0..n).map(|s| gains.hearable_by(s, usable)).collect();
+        let mut tracker =
             SinrTracker::new(Arc::clone(&gains), cfg.noise, cfg.self_gain).with_sic(cfg.sic_depth);
+        if let PhyBackend::Grid {
+            far_field: Some(ff),
+        } = &cfg.phy_backend
+        {
+            tracker = tracker.with_far_field(ff.near_radius_factor * reach, ff.tolerance);
+        }
         let threshold = cfg.criterion.threshold();
         let warm_at = Time::ZERO + cfg.warmup;
         let end = Time::ZERO + cfg.run_for;
@@ -233,5 +250,30 @@ mod tests {
         let sc = Scenario::new(cfg);
         assert!(!sc.measured(Time::from_secs(1)));
         assert!(sc.measured(Time::from_secs(3)));
+    }
+
+    #[test]
+    fn grid_backend_matches_dense_exactly() {
+        // The spatial index without far-field aggregation must be
+        // bit-identical to the dense matrix — same neighbours, same
+        // sensed power, same outcomes. CSMA exercises the carrier-sense
+        // path (`sensed_power`) hardest.
+        let mut cfg = BaselineConfig::matched(
+            30,
+            9,
+            MacKind::Csma {
+                sense_threshold: PowerW(1e-9),
+            },
+        );
+        cfg.run_for = Duration::from_secs(6);
+        cfg.warmup = Duration::from_secs(1);
+        let mut grid_cfg = cfg.clone();
+        grid_cfg.phy_backend = PhyBackend::Grid { far_field: None };
+        let dense = crate::csma::Csma::run(Scenario::new(cfg));
+        let grid = crate::csma::Csma::run(Scenario::new(grid_cfg));
+        assert_eq!(dense.generated, grid.generated);
+        assert_eq!(dense.delivered, grid.delivered);
+        assert_eq!(dense.total_losses(), grid.total_losses());
+        assert_eq!(dense.collision_losses(), grid.collision_losses());
     }
 }

@@ -103,9 +103,7 @@ impl Csma {
     /// Seed initial arrivals.
     pub fn prime(&mut self, queue: &mut EventQueue<Event>) {
         for s in 0..self.stations.len() {
-            if !self.sc.neighbors[s].is_empty()
-                && self.sc.cfg.arrivals_per_station_per_sec > 0.0
-            {
+            if !self.sc.neighbors[s].is_empty() && self.sc.cfg.arrivals_per_station_per_sec > 0.0 {
                 let dt = self.sc.next_interarrival();
                 queue.schedule(Time::ZERO + dt, Event::Arrival { station: s });
             }
@@ -115,8 +113,7 @@ impl Csma {
     /// Finalize metrics.
     pub fn finish(mut self) -> Metrics {
         let settled = self.sc.metrics.delivered + self.dropped;
-        self.sc.metrics.in_flight_at_end =
-            self.sc.metrics.generated.saturating_sub(settled);
+        self.sc.metrics.in_flight_at_end = self.sc.metrics.generated.saturating_sub(settled);
         self.sc.metrics
     }
 
@@ -151,8 +148,8 @@ impl Csma {
         };
         if self.sc.measured(now) {
             self.sc.metrics.tx_airtime[s] += self.sc.cfg.airtime.as_secs_f64();
-            let wait = now.since(packet.enqueued).ticks() as f64
-                / self.sc.cfg.airtime.ticks() as f64;
+            let wait =
+                now.since(packet.enqueued).ticks() as f64 / self.sc.cfg.airtime.ticks() as f64;
             self.sc.metrics.hop_wait_slots.add(wait.min(99.0));
         }
         queue.schedule(
@@ -207,10 +204,7 @@ impl Csma {
                         let (_, cause) = classify(rep);
                         self.sc.metrics.record_loss(cause);
                     }
-                    None => self
-                        .sc
-                        .metrics
-                        .record_loss(LossCause::DespreaderExhausted),
+                    None => self.sc.metrics.record_loss(LossCause::DespreaderExhausted),
                 }
             }
             if attempts <= self.sc.cfg.max_retries {

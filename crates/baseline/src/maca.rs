@@ -174,9 +174,7 @@ impl Maca {
     /// Seed initial arrivals.
     pub fn prime(&mut self, queue: &mut EventQueue<Event>) {
         for s in 0..self.stations.len() {
-            if !self.sc.neighbors[s].is_empty()
-                && self.sc.cfg.arrivals_per_station_per_sec > 0.0
-            {
+            if !self.sc.neighbors[s].is_empty() && self.sc.cfg.arrivals_per_station_per_sec > 0.0 {
                 let dt = self.sc.next_interarrival();
                 queue.schedule(Time::ZERO + dt, Event::Arrival { station: s });
             }
@@ -186,8 +184,7 @@ impl Maca {
     /// Finalize metrics.
     pub fn finish(mut self) -> Metrics {
         let settled = self.sc.metrics.delivered + self.dropped;
-        self.sc.metrics.in_flight_at_end =
-            self.sc.metrics.generated.saturating_sub(settled);
+        self.sc.metrics.in_flight_at_end = self.sc.metrics.generated.saturating_sub(settled);
         self.sc.metrics
     }
 
@@ -342,10 +339,8 @@ impl Maca {
                         })
                         .is_some();
                     if hs_ok {
-                        queue.schedule(
-                            now + self.turnaround,
-                            Event::DataStart { station: to, seq },
-                        );
+                        queue
+                            .schedule(now + self.turnaround, Event::DataStart { station: to, seq });
                     }
                 } else if self.sc.measured(now) {
                     if let Some(rep) = &addressed_report {
@@ -390,13 +385,7 @@ impl Maca {
         );
     }
 
-    fn on_data_start(
-        &mut self,
-        s: StationId,
-        seq: u64,
-        now: Time,
-        queue: &mut EventQueue<Event>,
-    ) {
+    fn on_data_start(&mut self, s: StationId, seq: u64, now: Time, queue: &mut EventQueue<Event>) {
         let Some(hs) = self.stations[s].handshake.as_mut() else {
             return;
         };
@@ -410,8 +399,7 @@ impl Maca {
         let p_tx = self.sc.tx_power(s, nh);
         let tx = self.sc.tracker.start_transmission(s, p_tx, Some(nh));
         self.stations[s].transmitting = true;
-        let rx = if !self.stations[nh].transmitting
-            && self.rx_in_use[nh] < self.sc.cfg.despreaders
+        let rx = if !self.stations[nh].transmitting && self.rx_in_use[nh] < self.sc.cfg.despreaders
         {
             self.rx_in_use[nh] += 1;
             Some(self.sc.tracker.begin_reception(nh, tx, self.sc.threshold))
@@ -420,8 +408,8 @@ impl Maca {
         };
         if self.sc.measured(now) {
             self.sc.metrics.tx_airtime[s] += self.sc.cfg.airtime.as_secs_f64();
-            let wait = now.since(packet.enqueued).ticks() as f64
-                / self.sc.cfg.airtime.ticks() as f64;
+            let wait =
+                now.since(packet.enqueued).ticks() as f64 / self.sc.cfg.airtime.ticks() as f64;
             self.sc.metrics.hop_wait_slots.add(wait.min(99.0));
         }
         queue.schedule(
@@ -478,10 +466,7 @@ impl Maca {
                         let (_, cause) = classify(rep);
                         self.sc.metrics.record_loss(cause);
                     }
-                    None => self
-                        .sc
-                        .metrics
-                        .record_loss(LossCause::DespreaderExhausted),
+                    None => self.sc.metrics.record_loss(LossCause::DespreaderExhausted),
                 }
             }
             self.requeue_or_drop(s, nh, packet, attempts, now, queue);
@@ -491,13 +476,7 @@ impl Maca {
         }
     }
 
-    fn on_cts_timeout(
-        &mut self,
-        s: StationId,
-        seq: u64,
-        now: Time,
-        queue: &mut EventQueue<Event>,
-    ) {
+    fn on_cts_timeout(&mut self, s: StationId, seq: u64, now: Time, queue: &mut EventQueue<Event>) {
         let timed_out = self.stations[s]
             .handshake
             .as_ref()
@@ -570,12 +549,8 @@ impl Model for Maca {
                 rxs,
                 seq,
             } => self.on_ctrl_end(kind, from, to, tx, rxs, seq, now, queue),
-            Event::SendCts { station, to, seq } => {
-                self.on_send_cts(station, to, seq, now, queue)
-            }
-            Event::DataStart { station, seq } => {
-                self.on_data_start(station, seq, now, queue)
-            }
+            Event::SendCts { station, to, seq } => self.on_send_cts(station, to, seq, now, queue),
+            Event::DataStart { station, seq } => self.on_data_start(station, seq, now, queue),
             Event::DataEnd {
                 station,
                 tx,
@@ -584,9 +559,7 @@ impl Model for Maca {
                 packet,
                 attempts,
             } => self.on_data_end(station, tx, rx, next_hop, packet, attempts, now, queue),
-            Event::CtsTimeout { station, seq } => {
-                self.on_cts_timeout(station, seq, now, queue)
-            }
+            Event::CtsTimeout { station, seq } => self.on_cts_timeout(station, seq, now, queue),
         }
     }
 }

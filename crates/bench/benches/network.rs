@@ -2,8 +2,8 @@
 //! simulated-seconds-per-wall-second for the full scheme and for the
 //! baselines at matched load.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parn_baseline::{Aloha, BaselineConfig, MacKind, Scenario};
+use parn_bench::harness;
 use parn_core::{NetConfig, Network};
 use parn_sim::Duration;
 
@@ -15,44 +15,27 @@ fn scenario(n: usize) -> NetConfig {
     cfg
 }
 
-fn network_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network_build");
-    group.sample_size(10);
+fn main() {
+    let mut h = harness("network");
+
+    let mut group = h.group("network_build");
     for &n in &[50usize, 100, 300] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| Network::new(scenario(n)));
-        });
+        group.bench(n, || Network::new(scenario(n)));
     }
-    group.finish();
-}
 
-fn network_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network_run_3s");
-    group.sample_size(10);
+    let mut group = h.group("network_run_3s");
     for &n in &[50usize, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| Network::run(scenario(n)));
-        });
+        group.bench(n, || Network::run(scenario(n)));
     }
-    group.finish();
-}
 
-fn baseline_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline_aloha_run_3s");
-    group.sample_size(10);
+    let mut group = h.group("baseline_aloha_run_3s");
     for &n in &[50usize, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut cfg = BaselineConfig::matched(n, 77, MacKind::PureAloha);
-                cfg.arrivals_per_station_per_sec = 2.0;
-                cfg.run_for = Duration::from_secs(3);
-                cfg.warmup = Duration::from_secs(1);
-                Aloha::run(Scenario::new(cfg))
-            });
+        group.bench(n, || {
+            let mut cfg = BaselineConfig::matched(n, 77, MacKind::PureAloha);
+            cfg.arrivals_per_station_per_sec = 2.0;
+            cfg.run_for = Duration::from_secs(3);
+            cfg.warmup = Duration::from_secs(1);
+            Aloha::run(Scenario::new(cfg))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, network_build, network_run, baseline_run);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! and the SINR tracker's hot paths (transmission start/end with many
 //! concurrent receptions — the per-event cost of the whole simulator).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parn_bench::harness;
 use parn_phys::placement::Placement;
 use parn_phys::propagation::FreeSpace;
 use parn_phys::sinr::SinrTracker;
@@ -10,30 +10,23 @@ use parn_phys::{GainMatrix, PowerW};
 use parn_sim::Rng;
 use std::sync::Arc;
 
-fn gain_matrix_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gain_matrix_build");
-    for &n in &[100usize, 500, 1000] {
-        let pts = Placement::UniformDisk {
-            n,
-            radius: 500.0,
-        }
-        .generate(&mut Rng::new(1));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
-            b.iter(|| GainMatrix::build(pts, &FreeSpace::unit()));
-        });
-    }
-    group.finish();
-}
-
 fn tracker(n: usize) -> SinrTracker {
     let pts = Placement::UniformDisk { n, radius: 500.0 }.generate(&mut Rng::new(2));
     let gm = Arc::new(GainMatrix::build(&pts, &FreeSpace::unit()));
     SinrTracker::new(gm, PowerW(1e-13), 1e12)
 }
 
-fn sinr_tx_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sinr_tx_cycle");
+fn main() {
+    let mut h = harness("phys");
+
+    let mut group = h.group("gain_matrix_build");
+    for &n in &[100usize, 500, 1000] {
+        let pts = Placement::UniformDisk { n, radius: 500.0 }.generate(&mut Rng::new(1));
+        group.bench(n, || GainMatrix::build(&pts, &FreeSpace::unit()));
+    }
+
     // One start/end pair with `k` concurrent receptions in flight.
+    let mut group = h.group("sinr_tx_cycle");
     for &k in &[0usize, 8, 32] {
         let mut t = tracker(200);
         let mut rxs = Vec::new();
@@ -41,29 +34,18 @@ fn sinr_tx_cycle(c: &mut Criterion) {
             let tx = t.start_transmission(i, PowerW(1e-3), Some(i + 100));
             rxs.push(t.begin_reception(i + 100, tx, 1e-4));
         }
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                let tx = t.start_transmission(50, PowerW(1e-3), Some(51));
-                t.end_transmission(tx);
-            });
+        group.bench(k, || {
+            let tx = t.start_transmission(50, PowerW(1e-3), Some(51));
+            t.end_transmission(tx);
         });
     }
-    group.finish();
-}
 
-fn sinr_interference_query(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sinr_interference_at");
+    let mut group = h.group("sinr_interference_at");
     for &active in &[10usize, 50, 150] {
         let mut t = tracker(200);
         for i in 0..active {
             t.start_transmission(i, PowerW(1e-3), None);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(active), &active, |b, _| {
-            b.iter(|| t.interference_at(199, None));
-        });
+        group.bench(active, || t.interference_at(199, None));
     }
-    group.finish();
 }
-
-criterion_group!(benches, gain_matrix_build, sinr_tx_cycle, sinr_interference_query);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! all-pairs table construction, and the distributed Bellman–Ford
 //! convergence that real stations would run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parn_bench::harness;
 use parn_phys::placement::Placement;
 use parn_phys::propagation::FreeSpace;
 use parn_phys::{Gain, GainMatrix};
@@ -20,43 +20,27 @@ fn graph(n: usize) -> EnergyGraph {
     EnergyGraph::from_gains(&gm, Gain(1.0 / (200.0f64 * 200.0)))
 }
 
-fn single_source(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dijkstra_single_source");
+fn main() {
+    let mut h = harness("route");
+
+    let mut group = h.group("dijkstra_single_source");
     for &n in &[100usize, 300, 1000] {
         let g = graph(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| dijkstra(g, 0));
-        });
+        group.bench(n, || dijkstra(&g, 0));
     }
-    group.finish();
-}
 
-fn all_pairs_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("route_table_centralized");
-    group.sample_size(10);
+    let mut group = h.group("route_table_centralized");
     for &n in &[100usize, 300] {
         let g = graph(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| RouteTable::centralized(g));
-        });
+        group.bench(n, || RouteTable::centralized(&g));
     }
-    group.finish();
-}
 
-fn distributed_convergence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bellman_ford_converge");
-    group.sample_size(10);
+    let mut group = h.group("bellman_ford_converge");
     for &n in &[50usize, 100] {
         let g = graph(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| {
-                let mut bf = DistributedBellmanFord::new(g.clone());
-                bf.run_async(&mut Rng::new(9), 10 * n)
-            });
+        group.bench(n, || {
+            let mut bf = DistributedBellmanFord::new(g.clone());
+            bf.run_async(&mut Rng::new(9), 10 * n)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, single_source, all_pairs_table, distributed_convergence);
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! enumeration, predicted windows through a clock model, and the MAC's
 //! quarter-slot placement search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parn_bench::harness;
 use parn_sched::{
-    intersect_lists, ClockSample, PredictedSchedule, QuarterSlot, RemoteClockModel,
-    SchedParams, SlotKind, StationClock, StationSchedule,
+    intersect_lists, ClockSample, PredictedSchedule, QuarterSlot, RemoteClockModel, SchedParams,
+    SlotKind, StationClock, StationSchedule,
 };
 use parn_sim::{Duration, Time};
 use std::hint::black_box;
@@ -14,30 +14,23 @@ fn params() -> SchedParams {
     SchedParams::paper_default()
 }
 
-fn slot_hash(c: &mut Criterion) {
-    let p = params();
-    c.bench_function("slot_kind_hash", |b| {
-        let mut idx = 0u64;
-        b.iter(|| {
-            idx = idx.wrapping_add(1);
-            black_box(p.kind_of_slot(idx))
-        });
-    });
-}
+fn main() {
+    let mut h = harness("sched");
 
-fn window_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("windows_enumeration");
+    let p = params();
+    let mut idx = 0u64;
+    h.group("slot_kind_hash").bench("hot", || {
+        idx = idx.wrapping_add(1);
+        black_box(p.kind_of_slot(idx))
+    });
+
+    let mut group = h.group("windows_enumeration");
     let sched = StationSchedule::new(params(), StationClock::with_offset(12345));
     for &slots in &[20u64, 100, 500] {
         let to = Time::ZERO + Duration::from_millis(10) * slots;
-        group.bench_with_input(BenchmarkId::from_parameter(slots), &to, |b, &to| {
-            b.iter(|| sched.windows(Time::ZERO, to, SlotKind::Transmit));
-        });
+        group.bench(slots, || sched.windows(Time::ZERO, to, SlotKind::Transmit));
     }
-    group.finish();
-}
 
-fn predicted_windows(c: &mut Criterion) {
     let my_clock = StationClock::ideal();
     let their_clock = StationClock {
         offset: 777_777,
@@ -57,23 +50,20 @@ fn predicted_windows(c: &mut Criterion) {
         model: &model,
         guard: Duration::from_micros(200),
     };
-    c.bench_function("predicted_windows_200_slots", |b| {
+    h.group("predicted_windows").bench("200_slots", || {
         let from = Time::from_secs(10);
         let to = from + Duration::from_secs(2);
-        b.iter(|| pred.windows(from, to, SlotKind::Receive));
+        pred.windows(from, to, SlotKind::Receive)
     });
-}
 
-fn mac_placement_search(c: &mut Criterion) {
     // The full inner loop of the MAC: my TX windows ∩ predicted RX
     // windows, then first admissible quarter-slot start.
     let p = params();
     let my_clock = StationClock::with_offset(424_242);
     let mine = StationSchedule::new(p, my_clock);
-    let their_clock = StationClock::with_offset(999_999);
     let model = RemoteClockModel::from_first_sample(ClockSample {
         mine: my_clock.reading(Time::ZERO),
-        theirs: their_clock.reading(Time::ZERO),
+        theirs: StationClock::with_offset(999_999).reading(Time::ZERO),
     });
     let pred = PredictedSchedule {
         params: p,
@@ -82,28 +72,17 @@ fn mac_placement_search(c: &mut Criterion) {
         guard: Duration::from_micros(200),
     };
     let qs = QuarterSlot::new(p);
-    c.bench_function("mac_placement_search_200_slots", |b| {
+    h.group("mac_placement_search").bench("200_slots", || {
         let from = Time::from_secs(3);
         let to = from + Duration::from_secs(2);
-        b.iter(|| {
-            let tx = mine.windows(from, to, SlotKind::Transmit);
-            let rx = pred.windows(from, to, SlotKind::Receive);
-            let usable = intersect_lists(&tx, &rx);
-            qs.first_admissible(
-                &usable,
-                from,
-                |t| my_clock.reading(t),
-                |l| my_clock.time_of_reading(l),
-            )
-        });
+        let tx = mine.windows(from, to, SlotKind::Transmit);
+        let rx = pred.windows(from, to, SlotKind::Receive);
+        let usable = intersect_lists(&tx, &rx);
+        qs.first_admissible(
+            &usable,
+            from,
+            |t| my_clock.reading(t),
+            |l| my_clock.time_of_reading(l),
+        )
     });
 }
-
-criterion_group!(
-    benches,
-    slot_hash,
-    window_enumeration,
-    predicted_windows,
-    mac_placement_search
-);
-criterion_main!(benches);

@@ -65,8 +65,7 @@ fn main() {
     // Fixed power must measurably tighten the worst-case margin (or lose
     // packets outright).
     assert!(
-        off.sinr_margin_db.min() < ctl.sinr_margin_db.min() - 1.0
-            || off.collision_losses() > 0,
+        off.sinr_margin_db.min() < ctl.sinr_margin_db.min() - 1.0 || off.collision_losses() > 0,
         "removing power control had no effect: ctl {:.1} dB vs fixed {:.1} dB",
         ctl.sinr_margin_db.min(),
         off.sinr_margin_db.min()

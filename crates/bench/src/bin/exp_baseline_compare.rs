@@ -8,7 +8,7 @@
 //! deferral delay and control overhead — while the Shepard scheme stays at
 //! exactly zero collision losses at every load, trading only delay.
 
-use parn_baseline::{Aloha, BaselineConfig, Csma, Maca, MacKind, Scenario};
+use parn_baseline::{Aloha, BaselineConfig, Csma, MacKind, Maca, Scenario};
 use parn_core::{DestPolicy, Metrics, NetConfig, Network};
 use parn_phys::PowerW;
 use parn_sim::Duration;

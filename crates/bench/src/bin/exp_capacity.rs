@@ -62,7 +62,10 @@ fn main() {
         );
     }
     let d = SystemDesign::metro(1e6, 1.5e9);
-    assert!(d.projection_rate_bps() > 1e8, "metro projection under 100 Mb/s");
+    assert!(
+        d.projection_rate_bps() > 1e8,
+        "metro projection under 100 Mb/s"
+    );
 
     println!("\n## simulated link SINR vs analytic din (100-station network)");
     // Run the full scheme and compare the worst observed SINR margin with
@@ -88,7 +91,10 @@ fn main() {
     // The scheme must hold every reception above threshold, with the
     // worst-case margin positive but finite (the din is real).
     assert!(m.sinr_margin_db.min() > 0.0);
-    assert!(m.sinr_margin_db.min() < 40.0, "din absent? margin implausibly large");
+    assert!(
+        m.sinr_margin_db.min() < 40.0,
+        "din absent? margin implausibly large"
+    );
     assert_eq!(m.collision_losses(), 0);
     println!("\nE2 reproduced: OK");
 }

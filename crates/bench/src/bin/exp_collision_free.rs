@@ -19,9 +19,15 @@ fn run(n: usize, seed: u64, secs: u64, rate: f64) {
     let m = Network::run(cfg);
 
     println!("## n = {n}, seed {seed}, {rate} pkt/s/station, {secs} s");
-    println!("  generated / delivered : {} / {}", m.generated, m.delivered);
+    println!(
+        "  generated / delivered : {} / {}",
+        m.generated, m.delivered
+    );
     println!("  hop attempts          : {}", m.hop_attempts);
-    println!("  hop success rate      : {:.4}%", 100.0 * m.hop_success_rate());
+    println!(
+        "  hop success rate      : {:.4}%",
+        100.0 * m.hop_success_rate()
+    );
     println!(
         "  per-hop wait          : mean {:.2} slots, p95 {:.2}",
         m.hop_wait_slots.mean().unwrap_or(0.0),
@@ -44,10 +50,7 @@ fn run(n: usize, seed: u64, secs: u64, rate: f64) {
         ("despreader", LossCause::DespreaderExhausted),
         ("din", LossCause::Din),
     ] {
-        println!(
-            "    {label:<11} {}",
-            m.losses.get(&c).copied().unwrap_or(0)
-        );
+        println!("    {label:<11} {}", m.losses.get(&c).copied().unwrap_or(0));
     }
     println!("  schedule violations   : {}", m.schedule_violations);
     println!(

@@ -93,7 +93,11 @@ fn main() {
         m.delivered,
         baseline.delivered
     );
-    let failure_losses = m.losses.get(&LossCause::StationFailed).copied().unwrap_or(0)
+    let failure_losses = m
+        .losses
+        .get(&LossCause::StationFailed)
+        .copied()
+        .unwrap_or(0)
         + m.losses.get(&LossCause::Unroutable).copied().unwrap_or(0);
     assert!(failure_losses > 0, "failures should cost *something*");
     // Ledger balances: generated = delivered + in flight + settled drops.

@@ -62,7 +62,10 @@ fn main() {
          (Din) losses appear at {first_din_frac:.2}x — the internal traffic's own\n\
          interference plus the margin account for the gap to 1.0."
     );
-    assert!(clean_frac > 0.1, "should tolerate a substantial external din");
+    assert!(
+        clean_frac > 0.1,
+        "should tolerate a substantial external din"
+    );
     assert!(
         first_din_frac <= 1.5,
         "losses should appear near the budget boundary"

@@ -1,0 +1,114 @@
+//! E6 — metro scale: dense O(M²) matrix vs the spatial index.
+//!
+//! The dense [`parn_phys::GainMatrix`] stores M² gains — 8 MB at 10³
+//! stations, 800 MB at 10⁴, and ~80 GB at 10⁵, where it stops being a
+//! simulation backend and starts being a swap benchmark. The grid
+//! backend ([`parn_phys::GridGainModel`] + far-field aggregation in the
+//! SINR tracker) keeps memory O(M) and lets the same scheme run at 10⁵
+//! stations with the collision-freedom invariant intact.
+//!
+//! Each configuration runs in its *own subprocess* so peak RSS (VmHWM)
+//! is measured per configuration, not accumulated across them:
+//!
+//! * no args — driver mode: spawns itself with `--one n backend` for
+//!   the whole sweep and prints a result table;
+//! * `--one <n> <dense|grid|grid-far>` — run one configuration and
+//!   print a single result line.
+//!
+//! The scale runs use the single-hop regime ([`DestPolicy::Neighbors`]
+//! with [`RouteMode::OneHop`]) — O(E) routing state — with a short
+//! measured window; the point is memory and wall-clock scaling plus the
+//! zero-collision invariant, not long-run throughput statistics.
+
+use parn_core::{DestPolicy, FarFieldConfig, NetConfig, Network, PhyBackend, RouteMode};
+use parn_sim::Duration;
+use std::time::Instant;
+
+/// Peak resident set size of this process, in kB (Linux `VmHWM`).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn backend_from_name(name: &str) -> PhyBackend {
+    match name {
+        "dense" => PhyBackend::Dense,
+        "grid" => PhyBackend::Grid { far_field: None },
+        "grid-far" => PhyBackend::Grid {
+            far_field: Some(FarFieldConfig::default_for_paper()),
+        },
+        other => panic!("unknown backend {other:?} (want dense|grid|grid-far)"),
+    }
+}
+
+fn scale_config(n: usize, backend: PhyBackend) -> NetConfig {
+    let mut cfg = NetConfig::paper_default(n, 42);
+    cfg.phy_backend = backend;
+    // Single-hop regime: O(E) routing state instead of the O(M²)
+    // all-pairs table, and destinations drawn among routing neighbours.
+    cfg.route_mode = RouteMode::OneHop;
+    cfg.traffic.dest = DestPolicy::Neighbors;
+    cfg.traffic.arrivals_per_station_per_sec = 0.5;
+    cfg.run_for = Duration::from_secs(2);
+    cfg.warmup = Duration::from_millis(500);
+    cfg
+}
+
+fn run_one(n: usize, backend_name: &str) {
+    let cfg = scale_config(n, backend_from_name(backend_name));
+    let start = Instant::now();
+    let m = Network::run(cfg);
+    let wall = start.elapsed().as_secs_f64();
+    let rss_mb = peak_rss_kb().map_or(f64::NAN, |kb| kb as f64 / 1024.0);
+    assert_eq!(
+        m.collision_losses(),
+        0,
+        "collision-freedom broken at n={n} backend={backend_name}: {}",
+        m.summary()
+    );
+    assert!(
+        m.delivered > 0,
+        "nothing delivered at n={n} backend={backend_name}: {}",
+        m.summary()
+    );
+    println!(
+        "n={n} backend={backend_name} wall_s={wall:.2} peak_rss_mb={rss_mb:.1} \
+         delivered={} collisions={} violations={}",
+        m.delivered,
+        m.collision_losses(),
+        m.schedule_violations
+    );
+}
+
+fn drive(sweep: &[(usize, &str)]) {
+    let exe = std::env::current_exe().expect("current_exe");
+    println!("# E6: wall-clock and peak RSS, dense vs spatial index");
+    println!("# (each line is an independent subprocess; RSS is per-configuration)\n");
+    for &(n, backend) in sweep {
+        let status = std::process::Command::new(&exe)
+            .args(["--one", &n.to_string(), backend])
+            .status()
+            .expect("spawn subprocess");
+        assert!(status.success(), "n={n} backend={backend} failed: {status}");
+    }
+    println!("\n# dense at n=10^5 is omitted: the matrix alone is ~80 GB (8 B x 10^10).");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["--one", n, backend] => run_one(n.parse().expect("n"), backend),
+        // `cargo test` passes `--test`-style flags to bins it never runs;
+        // anything other than `--one` gets the default sweep. A smaller
+        // sweep keeps smoke invocations (`--quick`) under a minute.
+        ["--quick"] => drive(&[(1_000, "dense"), (1_000, "grid"), (1_000, "grid-far")]),
+        _ => drive(&[
+            (1_000, "dense"),
+            (1_000, "grid-far"),
+            (10_000, "dense"),
+            (10_000, "grid-far"),
+            (100_000, "grid-far"),
+        ]),
+    }
+}

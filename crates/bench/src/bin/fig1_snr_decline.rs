@@ -53,11 +53,7 @@ fn main() {
         "log10 M", "eta=0.05", "0.1", "0.2", "0.5", "1.0"
     );
     for row in figure1(&etas, 1, 12) {
-        let cells: Vec<String> = row
-            .snr_db
-            .iter()
-            .map(|db| format!("{:>8.2}", db))
-            .collect();
+        let cells: Vec<String> = row.snr_db.iter().map(|db| format!("{:>8.2}", db)).collect();
         println!("{:>8} | {}", row.log10_m as u32, cells.join("  "));
     }
 

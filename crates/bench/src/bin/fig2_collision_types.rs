@@ -130,6 +130,10 @@ fn main() {
         );
     }
     assert!(naive.collision_losses() > 0, "naive MAC should collide");
-    assert_eq!(scheme.collision_losses(), 0, "scheme must be collision-free");
+    assert_eq!(
+        scheme.collision_losses(),
+        0,
+        "scheme must be collision-free"
+    );
     println!("\nfigure 2 reproduced: naive MAC exhibits all three types; the scheme none. OK");
 }

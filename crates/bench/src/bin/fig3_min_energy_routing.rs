@@ -48,7 +48,10 @@ fn run_size(n: usize, seed: u64) {
 
     println!("## n = {n} (seed {seed})");
     println!("  fully connected:        {connected}");
-    println!("  mean / max hops:        {:.2} / {}", geom.mean_hops, geom.max_hops);
+    println!(
+        "  mean / max hops:        {:.2} / {}",
+        geom.mean_hops, geom.max_hops
+    );
     println!(
         "  mean energy saving:     {:.2}x vs direct (multi-hop pairs)",
         geom.mean_energy_saving
@@ -58,7 +61,10 @@ fn run_size(n: usize, seed: u64) {
         None => println!("  relay-circle property:  holds on every hop of every route"),
         Some(v) => println!("  relay-circle property:  VIOLATED {v:?}"),
     }
-    assert!(skipped.is_none(), "a min-energy route skipped a cheaper relay");
+    assert!(
+        skipped.is_none(),
+        "a min-energy route skipped a cheaper relay"
+    );
     assert!(
         max_deg <= 8,
         "paper's observation violated: max routing degree {max_deg}"

@@ -144,7 +144,10 @@ fn main() {
     // §7.2's "transmit duty cycles approaching 50%": a saturated station
     // fanning traffic out to k neighbours, measured.
     println!("\n# saturated-sender transmit duty vs fan-out (measured)\n");
-    println!("{:>10} | {:>10} | {:>20}", "neighbours", "tx duty %", "analytic usable %");
+    println!(
+        "{:>10} | {:>10} | {:>20}",
+        "neighbours", "tx duty %", "analytic usable %"
+    );
     let mut duty8 = 0.0;
     for k in [1usize, 2, 4, 8] {
         // Fan flows out of the best-connected station of a 40-station disk.

@@ -196,10 +196,7 @@ mod tests {
     fn significant_among_weak_is_still_a_collision() {
         // A dominant interferer plus background chatter: collision, with
         // only the significant one shaping the kinds.
-        let mut r = report(
-            5,
-            vec![blame(2, Some(5), 0.6), blame(7, Some(8), 0.05)],
-        );
+        let mut r = report(5, vec![blame(2, Some(5), 0.6), blame(7, Some(8), 0.05)]);
         r.interference_at_failure = PowerW(1.0);
         let (k, cause) = classify(&r);
         assert!(k.type2 && !k.type1);

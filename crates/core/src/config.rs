@@ -66,6 +66,64 @@ pub struct ClockConfig {
     pub sync: SyncMode,
 }
 
+/// Which PHY gain backend the simulator builds.
+#[derive(Clone, Debug)]
+pub enum PhyBackend {
+    /// The reference dense gain matrix: exact, O(M²) memory. Caps out
+    /// near 10⁴ stations.
+    Dense,
+    /// Spatially indexed gains: O(M) memory, on-demand gain computation,
+    /// range-bounded neighbour queries. Without far-field aggregation it
+    /// produces bit-identical simulations to `Dense` for deterministic
+    /// propagation models.
+    Grid {
+        /// When set, interference beyond a near radius is aggregated per
+        /// grid cell instead of summed per station — required to push
+        /// past ~10⁴ stations. Introduces a bounded SINR error on the far
+        /// tail (see `parn_phys::sinr::SinrTracker::with_far_field`).
+        far_field: Option<FarFieldConfig>,
+    },
+}
+
+/// Far-field aggregation knobs (Grid backend only).
+#[derive(Clone, Copy, Debug)]
+pub struct FarFieldConfig {
+    /// Near radius as a multiple of the usable reach `reach_factor/√ρ`;
+    /// interference from inside is exact, beyond is aggregated. 1.0 keeps
+    /// every usable link and every significant interferer exact.
+    pub near_radius_factor: f64,
+    /// Extra relative staleness the far-tail snapshot cache may accept
+    /// before recomputing (0 recomputes on every change).
+    pub tolerance: f64,
+}
+
+impl FarFieldConfig {
+    /// Paper-calibrated default: exact interference out to the usable
+    /// reach, 5% cache tolerance — both error terms together stay well
+    /// under the 5 dB β margin.
+    pub fn default_for_paper() -> FarFieldConfig {
+        FarFieldConfig {
+            near_radius_factor: 1.0,
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// How routing tables are computed.
+#[derive(Clone, Debug)]
+pub enum RouteMode {
+    /// All-pairs Dijkstra from a central view (reference).
+    Centralized,
+    /// Distributed asynchronous Bellman–Ford (what real stations run).
+    /// Both converge to minimum-energy fixed points; tie-breaks may
+    /// differ.
+    Distributed,
+    /// Direct-edge table only (O(E) memory): valid when traffic is
+    /// single-hop (`DestPolicy::Neighbors`), the regime the metro-scale
+    /// experiments run in.
+    OneHop,
+}
+
 /// The §7.3 rule for protecting nearby neighbours' receive windows.
 #[derive(Clone, Debug)]
 pub struct NeighborProtection {
@@ -132,10 +190,10 @@ pub struct NetConfig {
     /// across its windows — the no-head-of-line-blocking behaviour that
     /// lets §7.2's duty cycles approach 50%.
     pub max_outstanding_plans: usize,
-    /// Compute routes with the distributed asynchronous Bellman–Ford
-    /// (what real stations run) instead of centralized Dijkstra. Both
-    /// converge to minimum-energy fixed points; tie-breaks may differ.
-    pub distributed_routing: bool,
+    /// PHY gain backend (dense reference matrix or spatial index).
+    pub phy_backend: PhyBackend,
+    /// Routing-table construction mode.
+    pub route_mode: RouteMode,
     /// Injected station failures: at each offset from the start, the
     /// given station goes permanently silent. Routing heals `heal_delay`
     /// later (standing in for distributed Bellman–Ford reconvergence).
@@ -188,7 +246,8 @@ impl NetConfig {
             max_retries: 10,
             packet_divisor: 4,
             max_outstanding_plans: 8,
-            distributed_routing: false,
+            phy_backend: PhyBackend::Dense,
+            route_mode: RouteMode::Centralized,
             failures: Vec::new(),
             heal_delay: Duration::from_millis(500),
             run_for: Duration::from_secs(20),

@@ -31,7 +31,10 @@ pub mod power;
 pub mod station;
 
 pub use collision::{classify, classify_with, CollisionKinds};
-pub use config::{ClockConfig, DestPolicy, NeighborProtection, NetConfig, SyncMode, TrafficConfig};
+pub use config::{
+    ClockConfig, DestPolicy, FarFieldConfig, NeighborProtection, NetConfig, PhyBackend, RouteMode,
+    SyncMode, TrafficConfig,
+};
 pub use metrics::Metrics;
 pub use network::{Event, Network};
 pub use packet::{LossCause, Packet, PacketKind};

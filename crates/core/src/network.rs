@@ -12,19 +12,19 @@
 //! collision counters stay at zero.
 
 use crate::collision::classify;
-use crate::config::{DestPolicy, NetConfig, SyncMode};
+use crate::config::{DestPolicy, NetConfig, PhyBackend, RouteMode, SyncMode};
 use crate::metrics::{Metrics, WarmupGate};
 use crate::packet::{LossCause, Packet, PacketKind};
 use crate::power::PowerPolicy;
 use crate::station::{PlannedTx, Station};
 use parn_phys::placement::density;
-use parn_phys::propagation::FreeSpace;
+use parn_phys::propagation::{FreeSpace, Propagation, Shadowed};
 use parn_phys::sinr::{RxId, SinrTracker, TxId};
-use parn_phys::{GainMatrix, PowerW, StationId};
+use parn_phys::{GainMatrix, GainModel, GridGainModel, PowerW, StationId};
 use parn_route::{EnergyGraph, RouteTable};
 use parn_sched::{
-    intersect_lists, subtract_lists, ClockSample, PredictedSchedule, QuarterSlot,
-    RemoteClockModel, SlotKind, StationClock, StationSchedule, Window,
+    intersect_lists, subtract_lists, ClockSample, PredictedSchedule, QuarterSlot, RemoteClockModel,
+    SlotKind, StationClock, StationSchedule, Window,
 };
 use parn_sim::{Duration, EventQueue, Model, Rng, Time};
 use std::collections::BTreeMap;
@@ -82,7 +82,7 @@ pub enum Event {
 /// The assembled simulation.
 pub struct Network {
     cfg: NetConfig,
-    gains: Arc<GainMatrix>,
+    gains: Arc<dyn GainModel>,
     tracker: SinrTracker,
     routes: RouteTable,
     stations: Vec<Station>,
@@ -124,15 +124,23 @@ impl Network {
         let positions = cfg.placement.generate(&mut rng_place);
         let n = positions.len();
         assert!(n >= 2, "need at least two stations");
-        let gains = if cfg.shadowing_sigma_db > 0.0 {
-            let model = parn_phys::propagation::Shadowed {
-                inner: FreeSpace::unit(),
-                sigma_db: cfg.shadowing_sigma_db,
-                seed: cfg.seed ^ 0x5AAD_0E5D,
-            };
-            Arc::new(GainMatrix::build(&positions, &model))
-        } else {
-            Arc::new(GainMatrix::build(&positions, &FreeSpace::unit()))
+        let shadow = (cfg.shadowing_sigma_db > 0.0).then(|| Shadowed {
+            inner: FreeSpace::unit(),
+            sigma_db: cfg.shadowing_sigma_db,
+            seed: cfg.seed ^ 0x5AAD_0E5D,
+        });
+        let gains: Arc<dyn GainModel> = match &cfg.phy_backend {
+            PhyBackend::Dense => match shadow {
+                Some(model) => Arc::new(GainMatrix::build(&positions, &model)),
+                None => Arc::new(GainMatrix::build(&positions, &FreeSpace::unit())),
+            },
+            PhyBackend::Grid { .. } => {
+                let model: Box<dyn Propagation + Send + Sync> = match shadow {
+                    Some(model) => Box::new(model),
+                    None => Box::new(FreeSpace::unit()),
+                };
+                Arc::new(GridGainModel::new(&positions, model))
+            }
         };
 
         // Usable-hop threshold from the reach factor (§6: ~2/√ρ).
@@ -140,19 +148,25 @@ impl Network {
         let rho = density(&positions, &region);
         let reach = cfg.reach_factor / rho.sqrt();
         let usable_gain = parn_phys::Gain(1.0 / (reach * reach));
-        let graph = EnergyGraph::from_gains(&gains, usable_gain);
-        let routes = if cfg.distributed_routing {
-            RouteTable::distributed(&graph, &mut rng_routing)
-        } else {
-            RouteTable::centralized(&graph)
+        let graph = EnergyGraph::from_model(&*gains, usable_gain);
+        let routes = match cfg.route_mode {
+            RouteMode::Centralized => RouteTable::centralized(&graph),
+            RouteMode::Distributed => RouteTable::distributed(&graph, &mut rng_routing),
+            RouteMode::OneHop => RouteTable::one_hop(&graph),
         };
         let alive = vec![true; n];
 
-        let tracker = SinrTracker::new(
+        let mut tracker = SinrTracker::new(
             Arc::clone(&gains),
             cfg.thermal_noise + cfg.external_din,
             cfg.self_gain,
         );
+        if let PhyBackend::Grid {
+            far_field: Some(ff),
+        } = &cfg.phy_backend
+        {
+            tracker = tracker.with_far_field(ff.near_radius_factor * reach, ff.tolerance);
+        }
 
         let threshold = cfg.sinr_threshold();
         let power = match cfg.fixed_power {
@@ -184,18 +198,17 @@ impl Network {
                 .map(|&nb| power.tx_power(gains.gain(nb, id)).value())
                 .fold(0.0f64, f64::max);
             if cfg.protection.enabled && max_power_used > 0.0 {
-                for other in 0..n {
-                    if other == id {
-                        continue;
-                    }
-                    let contrib = max_power_used * gains.gain(other, id).value();
-                    if contrib
-                        >= cfg.protection.significance_fraction
-                            * interference_budget.value()
-                    {
-                        protected.push(other);
-                    }
-                }
+                // §7.3 in threshold form: `other` is protected when this
+                // station's worst-case power would land at least the
+                // significance fraction of the interference budget on it,
+                // i.e. gain(other, id) ≥ frac·budget / max_power. Phrased
+                // as a gain threshold it runs through the (range-bounded)
+                // hearable_by query, identical on both backends.
+                let thr = parn_phys::Gain(
+                    cfg.protection.significance_fraction * interference_budget.value()
+                        / max_power_used,
+                );
+                protected = gains.hearable_by(id, thr);
             }
             let mut models = BTreeMap::new();
             for &nb in rn.iter().chain(protected.iter()) {
@@ -212,14 +225,19 @@ impl Network {
             st.models = models;
         }
 
-        // Reachable destination lists for traffic.
-        let reachable: Vec<Vec<StationId>> = (0..n)
-            .map(|s| {
-                (0..n)
-                    .filter(|&d| d != s && routes.reachable(s, d))
-                    .collect()
-            })
-            .collect();
+        // Reachable destination lists for traffic — only UniformAll reads
+        // them; skipping the O(M²) scan otherwise keeps metro-scale
+        // neighbour-traffic runs linear.
+        let reachable: Vec<Vec<StationId>> = match &cfg.traffic.dest {
+            DestPolicy::UniformAll => (0..n)
+                .map(|s| {
+                    (0..n)
+                        .filter(|&d| d != s && routes.reachable(s, d))
+                        .collect()
+                })
+                .collect(),
+            _ => vec![Vec::new(); n],
+        };
         let mut flow_dsts = vec![Vec::new(); n];
         if let DestPolicy::Flows(flows) = &cfg.traffic.dest {
             for &(s, d) in flows {
@@ -280,9 +298,9 @@ impl Network {
         &self.routes
     }
 
-    /// The gain matrix in use.
-    pub fn gains(&self) -> &GainMatrix {
-        &self.gains
+    /// The gain model in use.
+    pub fn gains(&self) -> &dyn GainModel {
+        &*self.gains
     }
 
     /// Number of stations.
@@ -312,15 +330,13 @@ impl Network {
         match self.cfg.clock.sync {
             SyncMode::None => {}
             SyncMode::Oracle => {
-                let first =
-                    Duration::from_millis(500).min(self.cfg.clock.resync_interval);
+                let first = Duration::from_millis(500).min(self.cfg.clock.resync_interval);
                 queue.schedule(Time::ZERO + first, Event::Resync);
             }
             SyncMode::Piggyback { hello_interval } => {
                 for s in 0..n {
-                    let stagger = Duration(
-                        (s as u64).wrapping_mul(7919) % hello_interval.ticks().max(1),
-                    );
+                    let stagger =
+                        Duration((s as u64).wrapping_mul(7919) % hello_interval.ticks().max(1));
                     queue.schedule(Time::ZERO + stagger, Event::HelloRound { station: s });
                 }
             }
@@ -328,10 +344,7 @@ impl Network {
         for &(at, station) in &self.cfg.failures.clone() {
             assert!(station < n, "failure station out of range");
             queue.schedule(Time::ZERO + at, Event::StationFail { station });
-            queue.schedule(
-                Time::ZERO + at + self.cfg.heal_delay,
-                Event::Reroute,
-            );
+            queue.schedule(Time::ZERO + at + self.cfg.heal_delay, Event::Reroute);
         }
     }
 
@@ -356,13 +369,7 @@ impl Network {
     }
 
     /// Enqueue at a station with occupancy bookkeeping.
-    fn enqueue_tracked(
-        &mut self,
-        s: StationId,
-        next_hop: StationId,
-        packet: Packet,
-        now: Time,
-    ) {
+    fn enqueue_tracked(&mut self, s: StationId, next_hop: StationId, packet: Packet, now: Time) {
         self.stations[s].enqueue(next_hop, packet, now);
         self.queue_depth.adjust(now, 1.0);
     }
@@ -428,12 +435,7 @@ impl Network {
     }
 
     /// Plan at most one transmission; returns whether a plan was made.
-    fn try_schedule_one(
-        &mut self,
-        s: StationId,
-        now: Time,
-        queue: &mut EventQueue<Event>,
-    ) -> bool {
+    fn try_schedule_one(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) -> bool {
         if self.stations[s].queued() == 0 {
             return false;
         }
@@ -553,9 +555,10 @@ impl Network {
                     },
                 );
                 queue.schedule(start, Event::TxStart { station: s });
-                self.tracer.emit(now, parn_sim::trace::Level::Debug, "mac", || {
-                    format!("station {s} planned pkt {pid} -> {nh} at {start}")
-                });
+                self.tracer
+                    .emit(now, parn_sim::trace::Level::Debug, "mac", || {
+                        format!("station {s} planned pkt {pid} -> {nh} at {start}")
+                    });
                 true
             }
             None => {
@@ -665,12 +668,13 @@ impl Network {
         if self.tracer.wants(parn_sim::trace::Level::Info) {
             let ok = report.as_ref().map(|r| r.success).unwrap_or(false);
             let pid = packet.id;
-            self.tracer.emit(now, parn_sim::trace::Level::Info, "phy", || {
-                format!(
-                    "pkt {pid} {s} -> {nh}: {}",
-                    if ok { "received" } else { "failed" }
-                )
-            });
+            self.tracer
+                .emit(now, parn_sim::trace::Level::Info, "phy", || {
+                    format!(
+                        "pkt {pid} {s} -> {nh}: {}",
+                        if ok { "received" } else { "failed" }
+                    )
+                });
         }
         match report {
             Some(rep) if rep.success && self.alive[nh] => {
@@ -684,8 +688,7 @@ impl Network {
                 } else {
                     if measured {
                         self.metrics.hop_successes += 1;
-                        let margin_db =
-                            10.0 * (rep.min_sinr / self.threshold).log10();
+                        let margin_db = 10.0 * (rep.min_sinr / self.threshold).log10();
                         self.metrics.sinr_margin_db.add(margin_db);
                     }
                     self.stations[s].attempts.remove(&packet.id);
@@ -926,7 +929,11 @@ impl Network {
         }
         self.queue_depth.adjust(now, -(lost.len() as f64));
         let st = &mut self.stations[s];
-        lost.extend(std::mem::take(&mut st.pending_tx).into_values().map(|p| p.packet));
+        lost.extend(
+            std::mem::take(&mut st.pending_tx)
+                .into_values()
+                .map(|p| p.packet),
+        );
         st.reservations.clear();
         st.attempts.clear();
         st.retry_pending = false;
@@ -942,18 +949,24 @@ impl Network {
     /// packets are re-pointed at their new next hops; packets whose
     /// destinations became unreachable are dropped (accounted).
     fn on_reroute(&mut self, now: Time, queue: &mut EventQueue<Event>) {
-        let graph =
-            EnergyGraph::from_gains_filtered(&self.gains, self.usable_gain, &self.alive);
-        self.routes = RouteTable::centralized(&graph);
+        let graph = EnergyGraph::from_model_filtered(&*self.gains, self.usable_gain, &self.alive);
+        // Repair stands in for reconvergence: Distributed mode heals with
+        // the same centralized fixed point it would converge to.
+        self.routes = match self.cfg.route_mode {
+            RouteMode::OneHop => RouteTable::one_hop(&graph),
+            _ => RouteTable::centralized(&graph),
+        };
         let n = self.stations.len();
-        for s in 0..n {
-            self.reachable[s] = if self.alive[s] {
-                (0..n)
-                    .filter(|&d| d != s && self.alive[d] && self.routes.reachable(s, d))
-                    .collect()
-            } else {
-                Vec::new()
-            };
+        if matches!(self.cfg.traffic.dest, DestPolicy::UniformAll) {
+            for s in 0..n {
+                self.reachable[s] = if self.alive[s] {
+                    (0..n)
+                        .filter(|&d| d != s && self.alive[d] && self.routes.reachable(s, d))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+            }
         }
         for s in 0..n {
             if !self.alive[s] {
@@ -966,15 +979,9 @@ impl Network {
             let mine = self.clocks[s].reading(now);
             for &nb in &rn {
                 let theirs = self.clocks[nb].reading(now);
-                self.stations[s]
-                    .models
-                    .entry(nb)
-                    .or_insert_with(|| {
-                        RemoteClockModel::from_first_sample(ClockSample {
-                            mine,
-                            theirs,
-                        })
-                    });
+                self.stations[s].models.entry(nb).or_insert_with(|| {
+                    RemoteClockModel::from_first_sample(ClockSample { mine, theirs })
+                });
             }
             let alive = &self.alive;
             let st = &mut self.stations[s];
@@ -1136,10 +1143,7 @@ mod tests {
         let mut cfg = small_cfg(40, 17);
         cfg.run_for = Duration::from_secs(12);
         cfg.traffic.arrivals_per_station_per_sec = 2.0;
-        cfg.failures = vec![
-            (Duration::from_secs(4), 3),
-            (Duration::from_secs(4), 11),
-        ];
+        cfg.failures = vec![(Duration::from_secs(4), 3), (Duration::from_secs(4), 11)];
         let m = Network::run(cfg);
         // Traffic keeps flowing after the heal.
         assert!(m.delivered > 100, "{}", m.summary());
@@ -1153,8 +1157,7 @@ mod tests {
             assert!(
                 matches!(
                     cause,
-                    crate::packet::LossCause::StationFailed
-                        | crate::packet::LossCause::Unroutable
+                    crate::packet::LossCause::StationFailed | crate::packet::LossCause::Unroutable
                 ) || *count == 0,
                 "unexpected loss cause {cause:?} x{count}"
             );
@@ -1214,7 +1217,11 @@ mod tests {
         let mut idle = small_cfg(10, 48);
         idle.traffic.arrivals_per_station_per_sec = 0.05;
         let mi = Network::run(idle);
-        assert!(mi.mean_queue_depth < 0.5, "idle queue {}", mi.mean_queue_depth);
+        assert!(
+            mi.mean_queue_depth < 0.5,
+            "idle queue {}",
+            mi.mean_queue_depth
+        );
         assert!(mi.mean_concurrent_tx < 0.5);
     }
 
@@ -1290,17 +1297,17 @@ mod tests {
     #[test]
     fn distributed_routing_runs_clean() {
         let mut cfg = small_cfg(40, 31);
-        cfg.distributed_routing = true;
+        cfg.route_mode = RouteMode::Distributed;
         let m = Network::run(cfg);
         assert!(m.delivered > 100, "{}", m.summary());
         assert_eq!(m.collision_losses(), 0, "{}", m.summary());
         // Costs agree with the centralized computation even if tie-broken
         // paths differ.
         let mut c_cfg = small_cfg(40, 31);
-        c_cfg.distributed_routing = false;
+        c_cfg.route_mode = RouteMode::Centralized;
         let dist = Network::new({
             let mut c = small_cfg(40, 31);
-            c.distributed_routing = true;
+            c.route_mode = RouteMode::Distributed;
             c
         });
         let cent = Network::new(c_cfg);

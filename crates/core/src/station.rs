@@ -101,9 +101,7 @@ impl Station {
 
     /// Whether `[start, start+len)` overlaps any reservation.
     pub fn conflicts_with_reservation(&self, start: Time, end: Time) -> bool {
-        self.reservations
-            .iter()
-            .any(|&(s, e)| start < e && s < end)
+        self.reservations.iter().any(|&(s, e)| start < e && s < end)
     }
 
     /// Remove reserved intervals from a sorted window list (both lists in

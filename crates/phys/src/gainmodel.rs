@@ -1,0 +1,376 @@
+//! The [`GainModel`] abstraction: who can hear whom, and how well.
+//!
+//! The dense [`GainMatrix`] is the reference backend — exact, simple, and
+//! O(M²) in memory, which caps it near 10⁴ stations. [`GridGainModel`]
+//! answers the same queries from a uniform-grid spatial index
+//! ([`GridIndex`]) plus on-demand propagation evaluation with a small
+//! direct-mapped cache, at O(M) memory. For deterministic propagation
+//! models the two backends return **identical** results (same floats,
+//! same orderings), so any simulation is bit-for-bit reproducible across
+//! backends; the equivalence proptests in the workspace root enforce
+//! this.
+
+use crate::gains::{GainMatrix, StationId};
+use crate::geom::Point;
+use crate::grid::GridIndex;
+use crate::propagation::Propagation;
+use crate::units::Gain;
+use std::sync::Mutex;
+
+/// Pairwise power gains between stations, plus the neighbour queries the
+/// rest of the workspace needs. Receiver-first indexing throughout
+/// (`gain(rx, tx)` is the paper's `h_ij²` with `i = rx`).
+pub trait GainModel: std::fmt::Debug + Send + Sync {
+    /// Number of stations.
+    fn len(&self) -> usize;
+
+    /// True when there are no stations.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Power gain from transmitter `tx` to receiver `rx`. Self-paths are
+    /// zero (a station's own transmitter is handled specially — Type 3
+    /// collisions, §5).
+    fn gain(&self, rx: StationId, tx: StationId) -> Gain;
+
+    /// Position of one station.
+    fn position(&self, id: StationId) -> Point;
+
+    /// All station positions.
+    fn positions(&self) -> &[Point];
+
+    /// All stations whose path gain *to* `rx` is at least `threshold`,
+    /// in ascending id order.
+    fn hearable_by(&self, rx: StationId, threshold: Gain) -> Vec<StationId>;
+
+    /// The strongest `k` paths into `rx`, best first; ties broken by
+    /// ascending id.
+    fn strongest_neighbors(&self, rx: StationId, k: usize) -> Vec<StationId>;
+
+    /// Sum of gains into `rx` from every other station.
+    fn total_exposure(&self, rx: StationId) -> f64;
+
+    /// Downcast hook for backends built on a spatial grid; lets the SINR
+    /// tracker's far-field mode reach the index. `None` for dense.
+    fn as_grid(&self) -> Option<&GridGainModel> {
+        None
+    }
+}
+
+impl GainModel for GainMatrix {
+    fn len(&self) -> usize {
+        GainMatrix::len(self)
+    }
+
+    fn gain(&self, rx: StationId, tx: StationId) -> Gain {
+        GainMatrix::gain(self, rx, tx)
+    }
+
+    fn position(&self, id: StationId) -> Point {
+        GainMatrix::position(self, id)
+    }
+
+    fn positions(&self) -> &[Point] {
+        GainMatrix::positions(self)
+    }
+
+    fn hearable_by(&self, rx: StationId, threshold: Gain) -> Vec<StationId> {
+        GainMatrix::hearable_by(self, rx, threshold)
+    }
+
+    fn strongest_neighbors(&self, rx: StationId, k: usize) -> Vec<StationId> {
+        GainMatrix::strongest_neighbors(self, rx, k)
+    }
+
+    fn total_exposure(&self, rx: StationId) -> f64 {
+        GainMatrix::total_exposure(self, rx)
+    }
+}
+
+/// Number of slots in the direct-mapped gain cache. At 16 bytes per slot
+/// this is 1 MiB — small next to the simulator's event state, and enough
+/// to keep the hot rx↔neighbour pairs of a 10⁵-station run resident.
+const CACHE_SLOTS: usize = 1 << 16;
+
+/// Spatially indexed gain backend: O(M) memory, on-demand gains.
+///
+/// Gains are recomputed from the propagation model on each query (with a
+/// direct-mapped cache in front), and neighbour queries are range-bounded
+/// through the grid whenever the model can invert gain to distance
+/// ([`Propagation::range_for_gain`]); otherwise they fall back to the
+/// same full scans the dense backend does.
+pub struct GridGainModel {
+    positions: Vec<Point>,
+    grid: GridIndex,
+    model: Box<dyn Propagation + Send + Sync>,
+    /// Direct-mapped cache of `(key, gain)`; key is `rx << 32 | tx`.
+    cache: Mutex<Vec<(u64, f64)>>,
+}
+
+impl std::fmt::Debug for GridGainModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridGainModel")
+            .field("n", &self.positions.len())
+            .field("cell", &self.grid.cell_size())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GridGainModel {
+    /// Build from station positions and a propagation model, with the
+    /// automatic `≈ 1/√ρ` cell size.
+    pub fn new(positions: &[Point], model: Box<dyn Propagation + Send + Sync>) -> GridGainModel {
+        assert!(
+            positions.len() < (1 << 32),
+            "gain-cache keys pack two 32-bit station ids"
+        );
+        GridGainModel {
+            positions: positions.to_vec(),
+            grid: GridIndex::build(positions),
+            model,
+            cache: Mutex::new(vec![(u64::MAX, 0.0); CACHE_SLOTS]),
+        }
+    }
+
+    /// The underlying spatial index.
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// The underlying propagation model.
+    pub fn propagation(&self) -> &(dyn Propagation + Send + Sync) {
+        &*self.model
+    }
+
+    fn compute_gain(&self, rx: StationId, tx: StationId) -> f64 {
+        self.model
+            .power_gain(self.positions[tx], self.positions[rx])
+            .value()
+    }
+}
+
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-distributed slot selection.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl GainModel for GridGainModel {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn gain(&self, rx: StationId, tx: StationId) -> Gain {
+        if rx == tx {
+            return Gain::ZERO; // match the dense diagonal convention
+        }
+        let key = ((rx as u64) << 32) | tx as u64;
+        let slot = (mix64(key) as usize) & (CACHE_SLOTS - 1);
+        let mut cache = self.cache.lock().unwrap();
+        if cache[slot].0 == key {
+            return Gain(cache[slot].1);
+        }
+        let v = self.compute_gain(rx, tx);
+        cache[slot] = (key, v);
+        Gain(v)
+    }
+
+    fn position(&self, id: StationId) -> Point {
+        self.positions[id]
+    }
+
+    fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    fn hearable_by(&self, rx: StationId, threshold: Gain) -> Vec<StationId> {
+        match self
+            .model
+            .range_for_gain(threshold)
+            .filter(|r| r.is_finite())
+        {
+            Some(range) => {
+                // Everything with gain ≥ threshold lies within `range`
+                // (strictly-below contract), hence inside the bounding
+                // square — the exact filter then mirrors the dense scan.
+                let mut ids = self.grid.candidates_within(self.position(rx), range);
+                ids.retain(|&tx| tx != rx && self.gain(rx, tx) >= threshold);
+                ids.sort_unstable();
+                ids
+            }
+            None => (0..self.len())
+                .filter(|&tx| tx != rx && self.gain(rx, tx) >= threshold)
+                .collect(),
+        }
+    }
+
+    fn strongest_neighbors(&self, rx: StationId, k: usize) -> Vec<StationId> {
+        let n = self.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let c = self.position(rx);
+        let mut r = self.grid.cell_size().max(f64::MIN_POSITIVE);
+        loop {
+            let covers = self.grid.square_covers_all(c, r);
+            let mut ids = self.grid.candidates_within(c, r);
+            ids.sort_unstable(); // ascending ids, so ties sort like dense
+            ids.retain(|&j| j != rx);
+            ids.sort_by(|&a, &b| {
+                self.gain(rx, b)
+                    .value()
+                    .total_cmp(&self.gain(rx, a).value())
+            });
+            if covers {
+                ids.truncate(k);
+                return ids;
+            }
+            if ids.len() >= k {
+                // Terminate once the ring provably holds every station at
+                // least as strong as the current k-th: any such station is
+                // within range_for_gain(kth), which the square already
+                // covers when that bound is ≤ r.
+                let kth = self.gain(rx, ids[k - 1]);
+                if let Some(bound) = self.model.range_for_gain(kth) {
+                    if bound <= r {
+                        ids.truncate(k);
+                        return ids;
+                    }
+                }
+            }
+            r *= 2.0;
+        }
+    }
+
+    fn total_exposure(&self, rx: StationId) -> f64 {
+        // Full scan in ascending order: identical summation order (and
+        // therefore identical float result) to the dense backend.
+        (0..self.len())
+            .filter(|&j| j != rx)
+            .map(|j| self.gain(rx, j).value())
+            .sum()
+    }
+
+    fn as_grid(&self) -> Option<&GridGainModel> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use crate::propagation::{FreeSpace, HorizonLimited, PowerLaw, Shadowed};
+    use parn_sim::Rng;
+
+    fn disk(n: usize, radius: f64, seed: u64) -> Vec<Point> {
+        Placement::UniformDisk { n, radius }.generate(&mut Rng::new(seed))
+    }
+
+    fn assert_backends_agree(pts: &[Point], model: impl Propagation + Send + Sync + 'static) {
+        let dense = GainMatrix::build(pts, &model);
+        let grid = GridGainModel::new(pts, Box::new(model));
+        let n = pts.len();
+        for rx in 0..n {
+            for tx in 0..n {
+                assert_eq!(
+                    GainModel::gain(&dense, rx, tx),
+                    grid.gain(rx, tx),
+                    "gain mismatch at ({rx}, {tx})"
+                );
+            }
+            for &thr in &[0.0, 1e-8, 1e-5, 1e-3, 1.0] {
+                assert_eq!(
+                    GainModel::hearable_by(&dense, rx, Gain(thr)),
+                    grid.hearable_by(rx, Gain(thr)),
+                    "hearable_by mismatch at rx={rx}, thr={thr}"
+                );
+            }
+            for &k in &[0usize, 1, 3, 8, n] {
+                assert_eq!(
+                    GainModel::strongest_neighbors(&dense, rx, k),
+                    grid.strongest_neighbors(rx, k),
+                    "strongest mismatch at rx={rx}, k={k}"
+                );
+            }
+            assert_eq!(
+                GainModel::total_exposure(&dense, rx),
+                grid.total_exposure(rx),
+                "exposure mismatch at rx={rx}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_matches_dense_free_space() {
+        assert_backends_agree(&disk(60, 400.0, 1), FreeSpace::unit());
+    }
+
+    #[test]
+    fn grid_matches_dense_power_law() {
+        assert_backends_agree(
+            &disk(40, 300.0, 2),
+            PowerLaw {
+                k: 1.0,
+                alpha: 3.0,
+                r_min: 1.0,
+            },
+        );
+    }
+
+    #[test]
+    fn grid_matches_dense_horizon_limited() {
+        assert_backends_agree(
+            &disk(40, 500.0, 3),
+            HorizonLimited {
+                inner: FreeSpace::unit(),
+                horizon: 150.0,
+            },
+        );
+    }
+
+    #[test]
+    fn grid_matches_dense_shadowed_via_full_scan() {
+        // Shadowed has no range bound (range_for_gain = None); the grid
+        // backend must fall back to full scans and still agree exactly.
+        assert_backends_agree(
+            &disk(30, 300.0, 4),
+            Shadowed {
+                inner: FreeSpace::unit(),
+                sigma_db: 8.0,
+                seed: 99,
+            },
+        );
+    }
+
+    #[test]
+    fn grid_handles_colocated_stations() {
+        let pts = vec![Point::ORIGIN, Point::ORIGIN, Point::new(5.0, 0.0)];
+        let grid = GridGainModel::new(&pts, Box::new(FreeSpace::unit()));
+        assert_eq!(grid.strongest_neighbors(0, 3), vec![1, 2]);
+        assert_eq!(grid.gain(0, 0), Gain::ZERO);
+    }
+
+    #[test]
+    fn cache_returns_consistent_values() {
+        let pts = disk(50, 200.0, 5);
+        let grid = GridGainModel::new(&pts, Box::new(FreeSpace::unit()));
+        for _ in 0..3 {
+            for rx in 0..pts.len() {
+                for tx in 0..pts.len() {
+                    let expect = if rx == tx {
+                        0.0
+                    } else {
+                        FreeSpace::unit().power_gain(pts[tx], pts[rx]).value()
+                    };
+                    assert_eq!(grid.gain(rx, tx).value(), expect);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! A uniform-grid spatial index over station placements.
+//!
+//! The paper's scheme is local: a station only ever cares about the
+//! stations within a few multiples of the nominal range `2/√ρ` (§6.1).
+//! For a roughly uniform density `ρ` a grid with cell side `≈ 1/√ρ`
+//! holds O(1) stations per cell, so a query for "everything within
+//! distance `r` of `p`" touches O(r²ρ) stations instead of all `M`.
+//!
+//! The index answers **candidate** queries: [`GridIndex::candidates_within`]
+//! returns every station inside the axis-aligned bounding square of the
+//! query disk (a superset of the stations within `r`). Callers apply their
+//! own exact gain/distance filter, which keeps the grid free of any float
+//! epsilon reasoning — a station at distance exactly `r` is always in the
+//! bounding square, so no true member is ever missed.
+
+use crate::gains::StationId;
+use crate::geom::Point;
+
+/// Uniform bucket grid over a set of points.
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    min_x: f64,
+    min_y: f64,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<StationId>>,
+}
+
+impl GridIndex {
+    /// Build an index with an automatically chosen cell size of
+    /// `√(bbox_area / n)` — about `1/√ρ` for density-`ρ` placements, i.e.
+    /// O(1) stations per cell.
+    pub fn build(positions: &[Point]) -> GridIndex {
+        let n = positions.len().max(1);
+        let (min_x, min_y, max_x, max_y) = bbox(positions);
+        let w = max_x - min_x;
+        let h = max_y - min_y;
+        let extent = w.max(h);
+        let cell = if w > 0.0 && h > 0.0 {
+            (w * h / n as f64).sqrt()
+        } else if extent > 0.0 {
+            // Collinear placement: bin along the one populated axis.
+            extent / n as f64
+        } else {
+            1.0
+        };
+        GridIndex::with_cell_size(positions, cell)
+    }
+
+    /// Build with an explicit cell side (clamped to a sane positive value
+    /// for degenerate placements such as all-coincident points).
+    pub fn with_cell_size(positions: &[Point], cell: f64) -> GridIndex {
+        let (min_x, min_y, max_x, max_y) = bbox(positions);
+        let mut cell = if cell.is_finite() && cell > 0.0 {
+            cell
+        } else {
+            1.0
+        };
+        // Cap the grid extent so a pathological cell size can never blow
+        // up the cell array; queries stay correct at any cell size.
+        const MAX_DIM: f64 = 8192.0;
+        cell = cell
+            .max((max_x - min_x) / MAX_DIM)
+            .max((max_y - min_y) / MAX_DIM);
+        let nx = (((max_x - min_x) / cell).floor() as usize + 1).max(1);
+        let ny = (((max_y - min_y) / cell).floor() as usize + 1).max(1);
+        let mut cells = vec![Vec::new(); nx * ny];
+        let mut idx = GridIndex {
+            min_x,
+            min_y,
+            cell,
+            nx,
+            ny,
+            cells: Vec::new(),
+        };
+        for (id, &p) in positions.iter().enumerate() {
+            cells[idx.cell_index(p)].push(id);
+        }
+        idx.cells = cells;
+        idx
+    }
+
+    /// Cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Half the diagonal of one cell: the worst-case distance between a
+    /// point in a cell and that cell's centre.
+    pub fn half_diagonal(&self) -> f64 {
+        self.cell * std::f64::consts::SQRT_2 / 2.0
+    }
+
+    /// Number of cells (grid extent).
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Flat index of the cell containing `p` (points outside the build
+    /// bounding box clamp to the border cells).
+    pub fn cell_index(&self, p: Point) -> usize {
+        let ix = (((p.x - self.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let iy = (((p.y - self.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        iy * self.nx + ix
+    }
+
+    /// Centre of cell `idx`.
+    pub fn cell_center(&self, idx: usize) -> Point {
+        let ix = idx % self.nx;
+        let iy = idx / self.nx;
+        Point::new(
+            self.min_x + (ix as f64 + 0.5) * self.cell,
+            self.min_y + (iy as f64 + 0.5) * self.cell,
+        )
+    }
+
+    /// Station ids of every occupied cell, with the cell's flat index.
+    pub fn occupied_cells(&self) -> impl Iterator<Item = (usize, &[StationId])> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(i, c)| (i, c.as_slice()))
+    }
+
+    /// Stations in cell `idx`.
+    pub fn cell_members(&self, idx: usize) -> &[StationId] {
+        &self.cells[idx]
+    }
+
+    /// Every station inside the bounding square `[cx−r, cx+r] × [cy−r,
+    /// cy+r]` of the disk of radius `r` around `center` — a superset of
+    /// the stations within distance `r`. Ids are pushed in cell order,
+    /// ascending within each cell; callers that need a global order must
+    /// sort.
+    pub fn candidates_within(&self, center: Point, r: f64) -> Vec<StationId> {
+        let mut out = Vec::new();
+        self.for_candidates_within(center, r, |id| out.push(id));
+        out
+    }
+
+    /// Visitor form of [`candidates_within`](Self::candidates_within):
+    /// avoids the intermediate `Vec` on hot paths.
+    pub fn for_candidates_within(&self, center: Point, r: f64, mut visit: impl FnMut(StationId)) {
+        if !r.is_finite() || r < 0.0 {
+            // NaN or infinite radius: everything is a candidate.
+            for c in &self.cells {
+                for &id in c {
+                    visit(id);
+                }
+            }
+            return;
+        }
+        let lo_x = self.clamp_ix(center.x - r);
+        let hi_x = self.clamp_ix(center.x + r);
+        let lo_y = self.clamp_iy(center.y - r);
+        let hi_y = self.clamp_iy(center.y + r);
+        for iy in lo_y..=hi_y {
+            for ix in lo_x..=hi_x {
+                for &id in &self.cells[iy * self.nx + ix] {
+                    visit(id);
+                }
+            }
+        }
+    }
+
+    /// True when a square of half-side `r` around `center` covers the
+    /// whole grid — i.e. expanding the query further cannot add stations.
+    pub fn square_covers_all(&self, center: Point, r: f64) -> bool {
+        if !r.is_finite() {
+            return true;
+        }
+        center.x - r <= self.min_x
+            && center.y - r <= self.min_y
+            && center.x + r >= self.min_x + self.nx as f64 * self.cell
+            && center.y + r >= self.min_y + self.ny as f64 * self.cell
+    }
+
+    fn clamp_ix(&self, x: f64) -> usize {
+        (((x - self.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1)
+    }
+
+    fn clamp_iy(&self, y: f64) -> usize {
+        (((y - self.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1)
+    }
+}
+
+fn bbox(positions: &[Point]) -> (f64, f64, f64, f64) {
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for p in positions {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    if positions.is_empty() {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        (min_x, min_y, max_x, max_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use parn_sim::Rng;
+
+    #[test]
+    fn candidates_cover_the_disk() {
+        let mut rng = Rng::new(42);
+        let pts = Placement::UniformDisk {
+            n: 300,
+            radius: 500.0,
+        }
+        .generate(&mut rng);
+        let idx = GridIndex::build(&pts);
+        for &r in &[10.0, 50.0, 200.0, 1200.0] {
+            for probe in 0..20usize {
+                let c = pts[probe * 7 % pts.len()];
+                let cand = idx.candidates_within(c, r);
+                // Every station truly within r must be among candidates.
+                for (id, p) in pts.iter().enumerate() {
+                    if p.distance(c) <= r {
+                        assert!(cand.contains(&id), "missed {} at r={}", id, r);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covering_square_returns_everything() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 40.0),
+            Point::new(-30.0, 70.0),
+        ];
+        let idx = GridIndex::build(&pts);
+        assert!(idx.square_covers_all(Point::ORIGIN, 1e9));
+        let mut cand = idx.candidates_within(Point::ORIGIN, 1e9);
+        cand.sort_unstable();
+        assert_eq!(cand, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn degenerate_coincident_points() {
+        let pts = vec![Point::ORIGIN; 5];
+        let idx = GridIndex::build(&pts);
+        assert!(idx.cell_size() > 0.0);
+        let cand = idx.candidates_within(Point::ORIGIN, 0.0);
+        assert_eq!(cand.len(), 5);
+    }
+
+    #[test]
+    fn cell_center_and_half_diagonal_bound_members() {
+        let mut rng = Rng::new(7);
+        let pts = Placement::UniformDisk {
+            n: 200,
+            radius: 300.0,
+        }
+        .generate(&mut rng);
+        let idx = GridIndex::build(&pts);
+        let delta = idx.half_diagonal();
+        for (ci, members) in idx.occupied_cells() {
+            let center = idx.cell_center(ci);
+            for &id in members {
+                assert!(
+                    pts[id].distance(center) <= delta * (1.0 + 1e-12),
+                    "station outside its cell's half-diagonal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let idx = GridIndex::build(&[]);
+        assert!(idx.candidates_within(Point::ORIGIN, 10.0).is_empty());
+    }
+}

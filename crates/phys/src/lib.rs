@@ -21,8 +21,10 @@
 
 #![warn(missing_docs)]
 
+pub mod gainmodel;
 pub mod gains;
 pub mod geom;
+pub mod grid;
 pub mod linkbudget;
 pub mod noise;
 pub mod placement;
@@ -32,8 +34,10 @@ pub mod sic;
 pub mod sinr;
 pub mod units;
 
+pub use gainmodel::{GainModel, GridGainModel};
 pub use gains::{GainMatrix, StationId};
 pub use geom::{Disk, Point};
+pub use grid::GridIndex;
 pub use propagation::{FreeSpace, Propagation};
 pub use shannon::ReceptionCriterion;
 pub use sinr::{ReceptionReport, RxId, SinrTracker, TxId};

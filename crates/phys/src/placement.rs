@@ -105,10 +105,7 @@ impl Placement {
                 for _ in 0..clusters {
                     let c = uniform_in_disk(radius, rng);
                     for _ in 0..per_cluster {
-                        pts.push(Point::new(
-                            rng.normal(c.x, sigma),
-                            rng.normal(c.y, sigma),
-                        ));
+                        pts.push(Point::new(rng.normal(c.x, sigma), rng.normal(c.y, sigma)));
                     }
                 }
                 pts
@@ -121,16 +118,12 @@ impl Placement {
         match *self {
             Placement::UniformDisk { radius, .. }
             | Placement::PoissonDisk { radius, .. }
-            | Placement::Clustered { radius, .. } => {
-                Disk::new(Point::ORIGIN, radius)
-            }
+            | Placement::Clustered { radius, .. } => Disk::new(Point::ORIGIN, radius),
             Placement::Grid {
                 nx, ny, spacing, ..
             } => {
                 let half_diag = spacing
-                    * (((nx as f64) * (nx as f64) + (ny as f64) * (ny as f64))
-                        .sqrt()
-                        / 2.0);
+                    * (((nx as f64) * (nx as f64) + (ny as f64) * (ny as f64)).sqrt() / 2.0);
                 Disk::new(Point::ORIGIN, half_diag)
             }
         }

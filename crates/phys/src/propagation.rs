@@ -20,6 +20,23 @@ pub trait Propagation {
     fn gain_at_distance(&self, r: f64) -> Gain {
         self.power_gain(Point::ORIGIN, Point::new(r, 0.0))
     }
+
+    /// A distance beyond which the gain is guaranteed *strictly below*
+    /// `g`, or `None` when no such bound is known (e.g. shadowed models,
+    /// whose log-normal factor is unbounded). Spatial indexes use this to
+    /// turn "all stations with gain ≥ g" into a bounded range query.
+    fn range_for_gain(&self, g: Gain) -> Option<f64> {
+        let _ = g;
+        None
+    }
+
+    /// Whether the model is reciprocal (`g(a→b) == g(b→a)` exactly).
+    /// All bundled models are; a directional model would override this,
+    /// which routes gain-matrix construction through the per-ordered-pair
+    /// path.
+    fn is_symmetric(&self) -> bool {
+        true
+    }
 }
 
 /// Free-space propagation: `g = k / max(r, r_min)²`.
@@ -48,6 +65,12 @@ impl Propagation for FreeSpace {
         let r = tx.distance(rx).max(self.r_min);
         Gain(self.k / (r * r))
     }
+
+    fn range_for_gain(&self, g: Gain) -> Option<f64> {
+        // g(r) = k/r² < g  ⇔  r > √(k/g); the r_min clamp only lowers
+        // gains at short range, so the bound stays valid.
+        (g.value() > 0.0).then(|| (self.k / g.value()).sqrt())
+    }
 }
 
 /// Power-law propagation with arbitrary exponent: `g = k / max(r, r_min)^α`.
@@ -68,6 +91,10 @@ impl Propagation for PowerLaw {
     fn power_gain(&self, tx: Point, rx: Point) -> Gain {
         let r = tx.distance(rx).max(self.r_min);
         Gain(self.k / r.powf(self.alpha))
+    }
+
+    fn range_for_gain(&self, g: Gain) -> Option<f64> {
+        (g.value() > 0.0 && self.alpha > 0.0).then(|| (self.k / g.value()).powf(1.0 / self.alpha))
     }
 }
 
@@ -91,6 +118,11 @@ impl Propagation for Attenuated {
         let r = tx.distance(rx).max(self.r_min);
         Gain(self.k * (-self.atten * r).exp() / (r * r))
     }
+
+    fn range_for_gain(&self, g: Gain) -> Option<f64> {
+        // e^{-ar} ≤ 1, so the free-space bound is a valid (loose) cover.
+        (g.value() > 0.0).then(|| (self.k / g.value()).sqrt())
+    }
 }
 
 /// Radio-horizon cutoff wrapping an inner model: beyond `horizon` meters the
@@ -111,6 +143,16 @@ impl<P: Propagation> Propagation for HorizonLimited<P> {
         } else {
             self.inner.power_gain(tx, rx)
         }
+    }
+
+    fn range_for_gain(&self, g: Gain) -> Option<f64> {
+        if g.value() <= 0.0 {
+            // Beyond the horizon the gain is exactly zero, which is not
+            // strictly below a zero threshold.
+            return None;
+        }
+        let inner = self.inner.range_for_gain(g).unwrap_or(f64::INFINITY);
+        Some(inner.min(self.horizon))
     }
 }
 
@@ -193,8 +235,7 @@ mod tests {
         // Paper §4: "free-space radio propagation falls off by a factor of
         // four, or 6 dB, for each doubling in distance".
         let m = FreeSpace::unit();
-        let drop = db(m.gain_at_distance(50.0).value())
-            - db(m.gain_at_distance(100.0).value());
+        let drop = db(m.gain_at_distance(50.0).value()) - db(m.gain_at_distance(100.0).value());
         assert!((drop - 6.0206).abs() < 1e-3, "drop {drop}");
     }
 
@@ -215,9 +256,7 @@ mod tests {
         };
         for r in [1.0, 5.0, 33.0, 1000.0] {
             assert!(
-                (fs.gain_at_distance(r).value() - pl.gain_at_distance(r).value())
-                    .abs()
-                    < 1e-15
+                (fs.gain_at_distance(r).value() - pl.gain_at_distance(r).value()).abs() < 1e-15
             );
         }
     }
@@ -295,8 +334,7 @@ mod tests {
             devs.push(10.0 * ratio.log10());
         }
         let mean = devs.iter().sum::<f64>() / devs.len() as f64;
-        let var =
-            devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / devs.len() as f64;
+        let var = devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / devs.len() as f64;
         assert!(mean.abs() < 0.8, "mean {mean} dB");
         assert!((var.sqrt() - 8.0).abs() < 0.5, "sd {} dB", var.sqrt());
     }

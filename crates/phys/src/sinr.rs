@@ -13,8 +13,11 @@
 //! self-interference gain — "no feasible amount of processing gain ... can
 //! achieve reception while the local transmitter is operating" (§5, Type 3).
 
-use crate::gains::{GainMatrix, StationId};
+use crate::gainmodel::GainModel;
+use crate::gains::StationId;
+use crate::geom::Point;
 use crate::units::PowerW;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -82,10 +85,58 @@ struct ActiveReception {
     interference_at_failure: PowerW,
 }
 
+/// Aggregated far-field interference state (see
+/// [`SinrTracker::with_far_field`]).
+///
+/// In far mode, each reception's running `interference` holds only the
+/// *near* part — contributions from transmitters within `near_radius` of
+/// the receiver, tracked exactly as in the dense path. Everything beyond
+/// is summed per grid cell: one power total per occupied cell, evaluated
+/// through the propagation model at the receiver→cell-centre distance.
+/// With cell half-diagonal `δ` and near radius `R`, each far transmitter
+/// sits within `±δ` of its cell centre, so for an `1/r²`-like monotone
+/// model the aggregated far term is within a relative `≈ 2δ/(R−δ)` of the
+/// exact sum — with the paper's `R ≈ reach = 2/√ρ` and cell `≈ 1/√ρ`
+/// (`δ ≈ 0.71/√ρ`) that is under 1.1 dB on the *far tail only*, far
+/// inside the 5 dB β margin (§3.4). A per-receiver snapshot cache avoids
+/// recomputing the tail on every event: a snapshot is reused while the
+/// total absolute power churn since it was taken, times the worst-case
+/// far gain `g(R)`, stays below `tolerance` of the snapshot value.
+#[derive(Clone, Debug)]
+struct FarField {
+    near_radius: f64,
+    tolerance: f64,
+    /// Worst-case gain of any far transmitter: the model's gain at
+    /// exactly `near_radius` (gains decline monotonically with distance).
+    g_near: f64,
+    /// Per-cell totals of *all* active transmissions (near/far is decided
+    /// per receiver at evaluation time).
+    cell_power: BTreeMap<usize, CellAgg>,
+    /// Sum of |power| of every transmission start/end since construction;
+    /// drives snapshot invalidation.
+    total_drift: f64,
+    /// Active transmission ids per station, for range-bounded near sums.
+    tx_of_station: BTreeMap<StationId, Vec<u64>>,
+    /// Far-tail snapshots per receiving station.
+    cache: RefCell<BTreeMap<StationId, FarSnapshot>>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct CellAgg {
+    power: f64,
+    txs: Vec<u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FarSnapshot {
+    value: f64,
+    drift_at: f64,
+}
+
 /// The interference bookkeeper.
 #[derive(Clone, Debug)]
 pub struct SinrTracker {
-    gains: Arc<GainMatrix>,
+    gains: Arc<dyn GainModel>,
     thermal: PowerW,
     self_gain: f64,
     active_tx: BTreeMap<u64, ActiveTransmission>,
@@ -94,17 +145,19 @@ pub struct SinrTracker {
     next_rx: u64,
     /// Successive-interference-cancellation depth (0 = plain receivers).
     sic_depth: usize,
+    /// Far-field aggregation state (`None` = exact mode).
+    far: Option<FarField>,
 }
 
 impl SinrTracker {
-    /// Create a tracker over a gain matrix.
+    /// Create a tracker over a gain model.
     ///
     /// * `thermal` — constant noise floor added at every receiver. The
     ///   paper argues interference dominates it at scale (§3.4), but it
     ///   keeps SINR finite in empty networks.
     /// * `self_gain` — effective power gain of a station's transmitter into
     ///   its own receiver (duplexer leakage); enormous by construction.
-    pub fn new(gains: Arc<GainMatrix>, thermal: PowerW, self_gain: f64) -> SinrTracker {
+    pub fn new(gains: Arc<dyn GainModel>, thermal: PowerW, self_gain: f64) -> SinrTracker {
         SinrTracker {
             gains,
             thermal,
@@ -114,6 +167,7 @@ impl SinrTracker {
             next_tx: 0,
             next_rx: 0,
             sic_depth: 0,
+            far: None,
         }
     }
 
@@ -126,9 +180,52 @@ impl SinrTracker {
         self
     }
 
-    /// The gain matrix the tracker uses.
-    pub fn gains(&self) -> &GainMatrix {
-        &self.gains
+    /// Enable far-field aggregation: interference from transmitters
+    /// beyond `near_radius` of a receiver is summed per grid cell instead
+    /// of per station (see [`FarField`] for the error bound). Intended
+    /// for metro-scale runs where walking every concurrent transmission
+    /// per receiver is the bottleneck.
+    ///
+    /// The approximation assumes a distance-based propagation model with
+    /// monotonically declining gain (free-space and its variants);
+    /// `tolerance` bounds the extra staleness the snapshot cache may add
+    /// on top of the geometric error.
+    ///
+    /// Panics unless the gain model is grid-backed
+    /// ([`GainModel::as_grid`]) — the dense matrix stays exact.
+    pub fn with_far_field(mut self, near_radius: f64, tolerance: f64) -> SinrTracker {
+        assert!(
+            near_radius > 0.0 && near_radius.is_finite(),
+            "near_radius must be positive and finite"
+        );
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        let grid_model = self
+            .gains
+            .as_grid()
+            .expect("far-field aggregation requires the grid gain backend");
+        let g_near = grid_model
+            .propagation()
+            .gain_at_distance(near_radius)
+            .value();
+        self.far = Some(FarField {
+            near_radius,
+            tolerance,
+            g_near,
+            cell_power: BTreeMap::new(),
+            total_drift: 0.0,
+            tx_of_station: BTreeMap::new(),
+            cache: RefCell::new(BTreeMap::new()),
+        });
+        self
+    }
+
+    /// The gain model the tracker uses.
+    pub fn gains(&self) -> &dyn GainModel {
+        &*self.gains
+    }
+
+    fn position(&self, id: StationId) -> Point {
+        self.gains.position(id)
     }
 
     /// Received power at `rx` from a transmission by `tx_station` at `power`.
@@ -141,8 +238,13 @@ impl SinrTracker {
     }
 
     /// Total interference-plus-noise currently seen at `rx`, excluding the
-    /// transmission `exclude` (if any). This is Eq. 5 evaluated now.
+    /// transmission `exclude` (if any). This is Eq. 5 evaluated now. In
+    /// far-field mode the beyond-`near_radius` tail is the cell-aggregated
+    /// approximation.
     pub fn interference_at(&self, rx: StationId, exclude: Option<TxId>) -> PowerW {
+        if self.far.is_some() {
+            return self.near_interference_at(rx, exclude) + PowerW(self.far_term_at(rx, exclude));
+        }
         let mut total = self.thermal;
         for (&id, tx) in &self.active_tx {
             if Some(TxId(id)) == exclude {
@@ -151,6 +253,127 @@ impl SinrTracker {
             total += self.received_power(rx, tx.station, tx.power);
         }
         total
+    }
+
+    /// Thermal plus exact contributions from transmitters within
+    /// `near_radius` of `rx`, via a range-bounded grid query. Far mode
+    /// only.
+    fn near_interference_at(&self, rx: StationId, exclude: Option<TxId>) -> PowerW {
+        let far = self.far.as_ref().expect("near sum only in far mode");
+        let grid = self
+            .gains
+            .as_grid()
+            .expect("far-field requires grid backend")
+            .grid();
+        let rxp = self.position(rx);
+        let mut total = self.thermal;
+        grid.for_candidates_within(rxp, far.near_radius, |station| {
+            let Some(ids) = far.tx_of_station.get(&station) else {
+                return;
+            };
+            if self.position(station).distance(rxp) > far.near_radius {
+                return; // candidate square corner beyond the disk
+            }
+            for &id in ids {
+                if Some(TxId(id)) == exclude {
+                    continue;
+                }
+                let tx = &self.active_tx[&id];
+                total += self.received_power(rx, tx.station, tx.power);
+            }
+        });
+        total
+    }
+
+    /// The aggregated far tail at `rx`, minus the contribution of
+    /// `exclude` when that transmission is itself beyond the near radius.
+    /// The subtraction mirrors how the aggregate counted the excluded
+    /// transmitter (cell-centre gain for wholly-far cells, exact for
+    /// boundary cells), so a dominant excluded source cancels cleanly
+    /// instead of dragging the whole tail to the zero clamp.
+    fn far_term_at(&self, rx: StationId, exclude: Option<TxId>) -> f64 {
+        let far = self.far.as_ref().expect("far term only in far mode");
+        let mut v = self.far_value(rx);
+        if let Some(TxId(id)) = exclude {
+            if let Some(tx) = self.active_tx.get(&id) {
+                let rxp = self.position(rx);
+                let txp = self.position(tx.station);
+                if txp.distance(rxp) > far.near_radius {
+                    let grid_model = self
+                        .gains
+                        .as_grid()
+                        .expect("far-field requires grid backend");
+                    let grid = grid_model.grid();
+                    let d = rxp.distance(grid.cell_center(grid.cell_index(txp)));
+                    let gain = if d - grid.half_diagonal() > far.near_radius {
+                        grid_model.propagation().gain_at_distance(d).value()
+                    } else {
+                        self.gains.gain(rx, tx.station).value()
+                    };
+                    v -= tx.power.value() * gain;
+                }
+            }
+        }
+        v.max(0.0)
+    }
+
+    /// Cached far tail for `rx`; recomputes when accumulated power churn
+    /// could have moved the value by more than the tolerance.
+    fn far_value(&self, rx: StationId) -> f64 {
+        let far = self.far.as_ref().expect("far value only in far mode");
+        {
+            let cache = far.cache.borrow();
+            if let Some(s) = cache.get(&rx) {
+                let churn = (far.total_drift - s.drift_at) * far.g_near;
+                if churn <= far.tolerance * (s.value + self.thermal.value()) {
+                    return s.value;
+                }
+            }
+        }
+        let v = self.recompute_far(rx);
+        far.cache.borrow_mut().insert(
+            rx,
+            FarSnapshot {
+                value: v,
+                drift_at: far.total_drift,
+            },
+        );
+        v
+    }
+
+    /// Walk the occupied cells: wholly-far cells contribute their power
+    /// total at the centre distance; boundary cells fall back to per-
+    /// transmitter exact terms for their far members.
+    fn recompute_far(&self, rx: StationId) -> f64 {
+        let far = self.far.as_ref().expect("far recompute only in far mode");
+        let grid_model = self
+            .gains
+            .as_grid()
+            .expect("far-field requires grid backend");
+        let grid = grid_model.grid();
+        let prop = grid_model.propagation();
+        let delta = grid.half_diagonal();
+        let rxp = self.position(rx);
+        let mut sum = 0.0;
+        for (&ci, agg) in &far.cell_power {
+            let d = rxp.distance(grid.cell_center(ci));
+            if d - delta > far.near_radius {
+                // Every member is beyond the near radius; aggregate.
+                sum += agg.power * prop.gain_at_distance(d).value();
+            } else {
+                // The cell straddles the near boundary (or contains rx):
+                // near members are already in the receptions' exact sums,
+                // so count only the far ones, exactly.
+                for &id in &agg.txs {
+                    let tx = &self.active_tx[&id];
+                    let dist = self.position(tx.station).distance(rxp);
+                    if dist > far.near_radius {
+                        sum += self.received_power(rx, tx.station, tx.power).value();
+                    }
+                }
+            }
+        }
+        sum
     }
 
     /// Total received power at `rx` from all active transmissions plus
@@ -191,6 +414,42 @@ impl SinrTracker {
                 intended_rx,
             },
         );
+        if self.far.is_some() {
+            let txp = self.position(station);
+            let cell = self
+                .gains
+                .as_grid()
+                .expect("far-field requires grid backend")
+                .grid()
+                .cell_index(txp);
+            let far = self.far.as_mut().expect("far mode");
+            let agg = far.cell_power.entry(cell).or_default();
+            agg.power += power.value();
+            agg.txs.push(id);
+            far.total_drift += power.value();
+            far.tx_of_station.entry(station).or_default().push(id);
+            // Exact delta only for receivers within the near radius; the
+            // far tail picks the rest up through the aggregate.
+            let radius = far.near_radius;
+            let deltas: Vec<(u64, PowerW)> = self
+                .receptions
+                .iter()
+                .filter(|(_, r)| self.position(r.rx).distance(txp) <= radius)
+                .map(|(&rid, r)| (rid, self.received_power(r.rx, station, power)))
+                .collect();
+            for (rid, d) in deltas {
+                self.receptions
+                    .get_mut(&rid)
+                    .expect("reception vanished")
+                    .interference += d;
+            }
+            // Every in-flight reception may have seen its far tail move.
+            let rids: Vec<u64> = self.receptions.keys().copied().collect();
+            for rid in rids {
+                self.reevaluate(rid);
+            }
+            return TxId(id);
+        }
         let deltas: Vec<(u64, PowerW)> = self
             .receptions
             .iter()
@@ -212,6 +471,50 @@ impl SinrTracker {
             .active_tx
             .remove(&id.0)
             .expect("ending unknown transmission");
+        // Temporarily move the far-field state out so the grid lookups
+        // below can borrow `self` freely.
+        if let Some(mut far) = self.far.take() {
+            let txp = self.position(tx.station);
+            let cell = self
+                .gains
+                .as_grid()
+                .expect("far-field requires grid backend")
+                .grid()
+                .cell_index(txp);
+            let agg = far
+                .cell_power
+                .get_mut(&cell)
+                .expect("far cell entry vanished");
+            agg.power -= tx.power.value();
+            agg.txs.retain(|&t| t != id.0);
+            if agg.txs.is_empty() {
+                far.cell_power.remove(&cell);
+            }
+            far.total_drift += tx.power.value();
+            if let Some(ids) = far.tx_of_station.get_mut(&tx.station) {
+                ids.retain(|&t| t != id.0);
+                if ids.is_empty() {
+                    far.tx_of_station.remove(&tx.station);
+                }
+            }
+            let radius = far.near_radius;
+            self.far = Some(far);
+            let deltas: Vec<(u64, PowerW)> = self
+                .receptions
+                .iter()
+                .filter(|(_, r)| r.src_tx != id)
+                .filter(|(_, r)| self.position(r.rx).distance(txp) <= radius)
+                .map(|(&rid, r)| (rid, self.received_power(r.rx, tx.station, tx.power)))
+                .collect();
+            for (rid, d) in deltas {
+                let r = self.receptions.get_mut(&rid).expect("reception vanished");
+                r.interference -= d;
+                if r.interference.value() < 0.0 {
+                    r.interference = PowerW::ZERO;
+                }
+            }
+            return;
+        }
         let deltas: Vec<(u64, PowerW)> = self
             .receptions
             .iter()
@@ -241,7 +544,13 @@ impl SinrTracker {
             .expect("receiving from unknown transmission")
             .clone();
         let signal = self.received_power(rx, tx.station, tx.power);
-        let interference = self.interference_at(rx, Some(src));
+        // In far mode the reception tracks only the near part exactly;
+        // the far tail is re-added at every evaluation.
+        let interference = if self.far.is_some() {
+            self.near_interference_at(rx, Some(src))
+        } else {
+            self.interference_at(rx, Some(src))
+        };
         let id = self.next_rx;
         self.next_rx += 1;
         self.receptions.insert(
@@ -290,7 +599,16 @@ impl SinrTracker {
     /// Current SINR of a reception.
     pub fn current_sinr(&self, id: RxId) -> f64 {
         let r = self.receptions.get(&id.0).expect("unknown reception");
-        Self::sinr_of(r)
+        if self.far.is_some() {
+            let denom = r.interference.value() + self.far_term_at(r.rx, Some(r.src_tx));
+            if denom <= 0.0 {
+                f64::INFINITY
+            } else {
+                r.signal.value() / denom
+            }
+        } else {
+            Self::sinr_of(r)
+        }
     }
 
     fn sinr_of(r: &ActiveReception) -> f64 {
@@ -326,22 +644,48 @@ impl SinrTracker {
         } else {
             None
         };
-        let (sinr, newly_failed, rx, src_tx) = {
+        // In far mode the far tail is part of the denominator; compute it
+        // before taking the mutable borrow.
+        let far_term = if self.far.is_some() {
+            let r = self.receptions.get(&rid).expect("unknown reception");
+            Some(self.far_term_at(r.rx, Some(r.src_tx)))
+        } else {
+            None
+        };
+        let (newly_failed, rx, src_tx) = {
             let r = self.receptions.get_mut(&rid).expect("unknown reception");
-            let sinr = sic_sinr.unwrap_or_else(|| Self::sinr_of(r));
+            let sinr = sic_sinr.unwrap_or_else(|| match far_term {
+                Some(f) => {
+                    let denom = r.interference.value() + f;
+                    if denom <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        r.signal.value() / denom
+                    }
+                }
+                None => Self::sinr_of(r),
+            });
             r.min_sinr = r.min_sinr.min(sinr);
             let newly_failed = !r.failed && sinr < r.threshold;
             if newly_failed {
                 r.failed = true;
             }
-            (sinr, newly_failed, r.rx, r.src_tx)
+            (newly_failed, r.rx, r.src_tx)
         };
-        let _ = sinr;
         if newly_failed {
+            // In far mode the snapshot only names near interferers — a
+            // failure caused purely by the aggregated tail has no single
+            // culprit to report, by construction.
+            let near_radius = self.far.as_ref().map(|f| f.near_radius);
+            let rxp = self.position(rx);
             let blame: Vec<Blame> = self
                 .active_tx
                 .iter()
                 .filter(|(&id, _)| TxId(id) != src_tx)
+                .filter(|(_, tx)| match near_radius {
+                    Some(rad) => self.position(tx.station).distance(rxp) <= rad,
+                    None => true,
+                })
                 .map(|(_, tx)| Blame {
                     station: tx.station,
                     intended_rx: tx.intended_rx,
@@ -350,7 +694,7 @@ impl SinrTracker {
                 .filter(|b| b.contribution.value() > 0.0)
                 .collect();
             let r = self.receptions.get_mut(&rid).expect("unknown reception");
-            r.interference_at_failure = r.interference;
+            r.interference_at_failure = r.interference + PowerW(far_term.unwrap_or(0.0));
             r.blame = blame;
         }
     }
@@ -359,6 +703,7 @@ impl SinrTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gains::GainMatrix;
     use crate::geom::Point;
     use crate::propagation::FreeSpace;
 
@@ -453,8 +798,7 @@ mod tests {
         let rep = t.complete_reception(rx);
         t.end_transmission(tx);
         assert!(!rep.success);
-        let self_blame: Vec<_> =
-            rep.blame.iter().filter(|b| b.station == 1).collect();
+        let self_blame: Vec<_> = rep.blame.iter().filter(|b| b.station == 1).collect();
         assert_eq!(self_blame.len(), 1);
         assert!(self_blame[0].contribution.value() > 1e6);
     }
@@ -507,7 +851,7 @@ mod tests {
         let rep = t.complete_reception(rx);
         t.end_transmission(tx);
         assert!(rep.success); // threshold was tiny
-        // Worst moment: signal 0.01 over interference ~1.0.
+                              // Worst moment: signal 0.01 over interference ~1.0.
         assert!((rep.min_sinr - 0.01).abs() < 1e-4, "min {}", rep.min_sinr);
     }
 
@@ -540,5 +884,129 @@ mod tests {
         let tx = t.start_transmission(0, PowerW(1.0), None);
         t.end_transmission(tx);
         t.end_transmission(tx);
+    }
+
+    mod far_field {
+        use super::*;
+        use crate::gainmodel::{GainModel, GridGainModel};
+        use crate::placement::Placement;
+        use parn_sim::Rng;
+
+        fn grid_model(n: usize, radius: f64, seed: u64) -> Arc<GridGainModel> {
+            let pts = Placement::UniformDisk { n, radius }.generate(&mut Rng::new(seed));
+            Arc::new(GridGainModel::new(&pts, Box::new(FreeSpace::unit())))
+        }
+
+        #[test]
+        #[should_panic(expected = "requires the grid gain backend")]
+        fn dense_backend_rejects_far_field() {
+            let gm = GainMatrix::build(&[Point::ORIGIN, Point::new(10.0, 0.0)], &FreeSpace::unit());
+            let _ = SinrTracker::new(Arc::new(gm), PowerW(1e-12), 1e12).with_far_field(50.0, 0.0);
+        }
+
+        #[test]
+        fn far_tail_stays_within_documented_bound() {
+            let gm = grid_model(400, 200.0, 11);
+            let thermal = PowerW(1e-13);
+            let near_radius = 150.0;
+            let tolerance = 0.05;
+            let delta = gm.grid().half_diagonal();
+            // Documented bound: geometric cell-aggregation error plus the
+            // snapshot-cache staleness allowance.
+            let bound = 2.0 * delta / (near_radius - delta) + tolerance;
+            assert!(bound < 1.0, "test geometry too coarse: {bound}");
+
+            let mut far_t = SinrTracker::new(Arc::clone(&gm) as Arc<dyn GainModel>, thermal, 1e12)
+                .with_far_field(near_radius, tolerance);
+            let mut rng = Rng::new(21);
+            let mut txs = Vec::new();
+            for _ in 0..40 {
+                let s = rng.below(400) as usize;
+                if txs.iter().any(|&(t, _)| t == s) {
+                    continue;
+                }
+                let p = PowerW(rng.range_f64(1e-4, 1e-1));
+                far_t.start_transmission(s, p, None);
+                txs.push((s, p));
+            }
+            for rx in (0..400).step_by(37) {
+                if txs.iter().any(|&(s, _)| s == rx) {
+                    continue; // self-interference would swamp the compare
+                }
+                let rxp = gm.position(rx);
+                let near_exact: f64 = txs
+                    .iter()
+                    .filter(|&&(s, _)| s != rx && gm.position(s).distance(rxp) <= near_radius)
+                    .map(|&(s, p)| gm.gain(rx, s).value() * p.value())
+                    .sum();
+                let far_exact: f64 = txs
+                    .iter()
+                    .filter(|&&(s, _)| gm.position(s).distance(rxp) > near_radius)
+                    .map(|&(s, p)| gm.gain(rx, s).value() * p.value())
+                    .sum();
+                let total = far_t.interference_at(rx, None).value();
+                let far_approx = total - thermal.value() - near_exact;
+                assert!(
+                    (far_approx - far_exact).abs() <= bound * far_exact + 1e-18,
+                    "rx {rx}: approx {far_approx:e} vs exact {far_exact:e} \
+                     (bound {bound})"
+                );
+            }
+        }
+
+        #[test]
+        fn far_mode_reception_agrees_with_exact_when_margin_is_wide() {
+            // A clean link with scattered weak far interferers: both modes
+            // must agree on success and closely on min SINR.
+            let gm = grid_model(200, 300.0, 5);
+            let thermal = PowerW(1e-13);
+            let run = |far: bool| {
+                let mut t = SinrTracker::new(Arc::clone(&gm) as Arc<dyn GainModel>, thermal, 1e12);
+                if far {
+                    t = t.with_far_field(100.0, 0.05);
+                }
+                let mut rng = Rng::new(77);
+                let mut noise = Vec::new();
+                for _ in 0..15 {
+                    let s = 2 + rng.below(198) as usize;
+                    noise.push(t.start_transmission(s, PowerW(1e-3), None));
+                }
+                let tx = t.start_transmission(0, PowerW(1.0), Some(1));
+                let rx = t.begin_reception(1, tx, 1e-3);
+                let rep = t.complete_reception(rx);
+                for id in noise {
+                    t.end_transmission(id);
+                }
+                t.end_transmission(tx);
+                rep
+            };
+            let exact = run(false);
+            let approx = run(true);
+            assert_eq!(exact.success, approx.success);
+            let rel = (exact.min_sinr - approx.min_sinr).abs() / exact.min_sinr;
+            assert!(rel < 0.5, "min_sinr diverged: {rel}");
+        }
+
+        #[test]
+        fn far_interference_returns_to_floor_after_teardown() {
+            let gm = grid_model(300, 250.0, 9);
+            let thermal = PowerW(1e-12);
+            let mut t = SinrTracker::new(Arc::clone(&gm) as Arc<dyn GainModel>, thermal, 1e12)
+                .with_far_field(80.0, 0.02);
+            let mut ids = Vec::new();
+            for s in (0..300).step_by(11) {
+                ids.push(t.start_transmission(s, PowerW(1e-2), None));
+            }
+            assert!(t.interference_at(150, None).value() > thermal.value());
+            for id in ids {
+                t.end_transmission(id);
+            }
+            // All aggregates drained: back to thermal exactly.
+            let floor = t.interference_at(150, None).value();
+            assert!(
+                (floor - thermal.value()).abs() <= 1e-15,
+                "residual {floor:e}"
+            );
+        }
     }
 }

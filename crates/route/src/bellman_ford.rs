@@ -67,9 +67,7 @@ impl DistributedBellmanFord {
                 for d in 0..n {
                     let via = cost + their.dist[d];
                     if via + 1e-15 < me.dist[d]
-                        && updates
-                            .iter()
-                            .all(|&(ud, uc, _)| ud != d || via < uc)
+                        && updates.iter().all(|&(ud, uc, _)| ud != d || via < uc)
                     {
                         updates.retain(|&(ud, _, _)| ud != d);
                         updates.push((d, via, nb));

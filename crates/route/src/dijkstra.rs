@@ -197,10 +197,7 @@ mod tests {
     #[test]
     fn deterministic_tie_breaking() {
         // Two equal-cost paths: the result must be stable across runs.
-        let g = EnergyGraph::from_edges(
-            4,
-            &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
-        );
+        let g = EnergyGraph::from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]);
         let a = dijkstra(&g, 0).path_to(3);
         let b = dijkstra(&g, 0).path_to(3);
         assert_eq!(a, b);

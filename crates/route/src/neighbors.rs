@@ -11,11 +11,7 @@ use parn_phys::{Gain, GainMatrix};
 /// Derive the usable-hop gain threshold from the physical design: a hop is
 /// usable when a transmitter at `max_power` can deliver `threshold ×
 /// ambient noise` to the receiver, i.e. `gain ≥ θ·N/P_max`.
-pub fn usable_gain_threshold(
-    max_power_w: f64,
-    ambient_noise_w: f64,
-    sinr_threshold: f64,
-) -> Gain {
+pub fn usable_gain_threshold(max_power_w: f64, ambient_noise_w: f64, sinr_threshold: f64) -> Gain {
     debug_assert!(max_power_w > 0.0);
     Gain(sinr_threshold * ambient_noise_w / max_power_w)
 }
@@ -98,16 +94,8 @@ mod tests {
         let near = degree_stats(&gm, free_space_gain_at(l));
         let far = degree_stats(&gm, free_space_gain_at(2.0 * l));
         // Edge stations see fewer, so means sit slightly below π and 4π.
-        assert!(
-            (2.0..=3.5).contains(&near.mean),
-            "near mean {}",
-            near.mean
-        );
-        assert!(
-            (9.0..=13.0).contains(&far.mean),
-            "far mean {}",
-            far.mean
-        );
+        assert!((2.0..=3.5).contains(&near.mean), "near mean {}", near.mean);
+        assert!((9.0..=13.0).contains(&far.mean), "far mean {}", far.mean);
         assert!(far.mean > 3.0 * near.mean, "quadrupling range ~4x degree");
     }
 

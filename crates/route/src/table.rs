@@ -30,8 +30,23 @@ use std::collections::HashSet;
 #[derive(Clone, Debug)]
 pub struct RouteTable {
     n: usize,
-    next_hop: Vec<Option<StationId>>, // row-major [src][dst]
-    cost: Vec<f64>,
+    repr: Repr,
+}
+
+/// Internal storage. `Dense` is the classic O(M²) all-pairs table;
+/// `OneHop` stores only the direct usable edges (O(E)) for workloads
+/// whose destinations are always one hop away (`DestPolicy::Neighbors`
+/// traffic at metro scale), where an all-pairs table would dwarf the
+/// rest of the simulation's memory.
+#[derive(Clone, Debug)]
+enum Repr {
+    Dense {
+        next_hop: Vec<Option<StationId>>, // row-major [src][dst]
+        cost: Vec<f64>,
+    },
+    OneHop {
+        adj: Vec<Vec<(StationId, f64)>>,
+    },
 }
 
 impl RouteTable {
@@ -48,7 +63,10 @@ impl RouteTable {
             }
             cost[src * n + src] = 0.0;
         }
-        RouteTable { n, next_hop, cost }
+        RouteTable {
+            n,
+            repr: Repr::Dense { next_hop, cost },
+        }
     }
 
     /// Build by running the distributed asynchronous Bellman–Ford to
@@ -66,7 +84,23 @@ impl RouteTable {
                 next_hop[src * n + dst] = st.next_hop[dst];
             }
         }
-        RouteTable { n, next_hop, cost }
+        RouteTable {
+            n,
+            repr: Repr::Dense { next_hop, cost },
+        }
+    }
+
+    /// Build a single-hop table: `next_hop(s, d)` is `Some(d)` exactly
+    /// when the direct edge `s → d` is usable, and multi-hop destinations
+    /// are unreachable. O(E) memory — the only all-pairs-free option, for
+    /// metro-scale neighbour traffic.
+    pub fn one_hop(graph: &EnergyGraph) -> RouteTable {
+        let n = graph.len();
+        let adj = (0..n).map(|s| graph.neighbors(s).to_vec()).collect();
+        RouteTable {
+            n,
+            repr: Repr::OneHop { adj },
+        }
     }
 
     /// Number of stations.
@@ -82,12 +116,33 @@ impl RouteTable {
     /// Next hop from `src` toward `dst` (None when `src == dst` or
     /// unreachable).
     pub fn next_hop(&self, src: StationId, dst: StationId) -> Option<StationId> {
-        self.next_hop[src * self.n + dst]
+        match &self.repr {
+            Repr::Dense { next_hop, .. } => next_hop[src * self.n + dst],
+            Repr::OneHop { adj } => {
+                if src == dst {
+                    None
+                } else {
+                    adj[src].iter().any(|&(t, _)| t == dst).then_some(dst)
+                }
+            }
+        }
     }
 
     /// Total route energy from `src` to `dst`.
     pub fn cost(&self, src: StationId, dst: StationId) -> f64 {
-        self.cost[src * self.n + dst]
+        match &self.repr {
+            Repr::Dense { cost, .. } => cost[src * self.n + dst],
+            Repr::OneHop { adj } => {
+                if src == dst {
+                    0.0
+                } else {
+                    adj[src]
+                        .iter()
+                        .find(|&&(t, _)| t == dst)
+                        .map_or(f64::INFINITY, |&(_, c)| c)
+                }
+            }
+        }
     }
 
     /// Whether `dst` is reachable from `src`.
@@ -123,15 +178,25 @@ impl RouteTable {
     /// "routing neighbors", observed in its simulations never to exceed
     /// eight.
     pub fn routing_neighbors(&self, src: StationId) -> Vec<StationId> {
-        let mut set = HashSet::new();
-        for dst in 0..self.n {
-            if let Some(h) = self.next_hop(src, dst) {
-                set.insert(h);
+        match &self.repr {
+            Repr::Dense { .. } => {
+                let mut set = HashSet::new();
+                for dst in 0..self.n {
+                    if let Some(h) = self.next_hop(src, dst) {
+                        set.insert(h);
+                    }
+                }
+                let mut v: Vec<StationId> = set.into_iter().collect();
+                v.sort();
+                v
+            }
+            Repr::OneHop { adj } => {
+                let mut v: Vec<StationId> = adj[src].iter().map(|&(t, _)| t).collect();
+                v.sort();
+                v.dedup();
+                v
             }
         }
-        let mut v: Vec<StationId> = set.into_iter().collect();
-        v.sort();
-        v
     }
 
     /// Maximum routing-neighbour count over all stations.
@@ -157,9 +222,7 @@ impl RouteTable {
                 let mut total = 0.0;
                 for pair in p.windows(2) {
                     let Some(c) = graph.edge_cost(pair[0], pair[1]) else {
-                        return Err(format!(
-                            "route {src}->{dst} uses missing edge {pair:?}"
-                        ));
+                        return Err(format!("route {src}->{dst} uses missing edge {pair:?}"));
                     };
                     total += c;
                 }
@@ -250,9 +313,63 @@ mod tests {
     #[test]
     fn consistency_catches_corruption() {
         let g = chain();
-        let mut t = RouteTable::centralized(&g);
-        // Corrupt: make 0->3 point at 3 directly (no such edge).
-        t.next_hop[3] = Some(3);
-        assert!(t.check_consistency(&g).is_err());
+        let t = RouteTable::centralized(&g);
+        // A table built for `chain()` is inconsistent against a graph
+        // missing the 1→2 edge every long route relies on...
+        let missing = EnergyGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (0, 2, 3.0),
+                (2, 0, 3.0),
+            ],
+        );
+        assert!(t.check_consistency(&missing).is_err());
+        // ...and against one whose edge costs disagree with the stored
+        // route energies.
+        let repriced = EnergyGraph::from_edges(
+            4,
+            &[
+                (0, 1, 9.0),
+                (1, 0, 9.0),
+                (1, 2, 9.0),
+                (2, 1, 9.0),
+                (2, 3, 9.0),
+                (3, 2, 9.0),
+                (0, 2, 9.0),
+                (2, 0, 9.0),
+            ],
+        );
+        assert!(t.check_consistency(&repriced).is_err());
+    }
+
+    #[test]
+    fn one_hop_table_is_direct_edges_only() {
+        let g = chain();
+        let t = RouteTable::one_hop(&g);
+        assert_eq!(t.next_hop(0, 1), Some(1));
+        assert_eq!(t.next_hop(0, 2), Some(2), "direct 0-2 edge exists");
+        assert_eq!(t.next_hop(0, 3), None, "multi-hop not represented");
+        assert_eq!(t.next_hop(1, 1), None);
+        assert_eq!(t.cost(0, 1), 1.0);
+        assert_eq!(t.cost(0, 2), 3.0);
+        assert_eq!(t.cost(0, 3), f64::INFINITY);
+        assert_eq!(t.cost(2, 2), 0.0);
+        assert_eq!(t.path(0, 2), Some(vec![0, 2]));
+        assert!(t.reachable(0, 0));
+        assert!(!t.reachable(0, 3));
+        assert!(t.check_consistency(&g).is_ok());
+    }
+
+    #[test]
+    fn one_hop_routing_neighbors_match_graph_degree() {
+        let g = chain();
+        let t = RouteTable::one_hop(&g);
+        assert_eq!(t.routing_neighbors(0), vec![1, 2]);
+        assert_eq!(t.routing_neighbors(1), vec![0, 2]);
+        assert_eq!(t.max_routing_degree(), 3, "station 2 reaches 0, 1, 3");
     }
 }

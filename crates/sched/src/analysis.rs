@@ -79,10 +79,7 @@ mod tests {
 
     #[test]
     fn usable_fraction_symmetric_and_peaked_at_half() {
-        assert!(
-            (pairwise_usable_fraction(0.2) - pairwise_usable_fraction(0.8)).abs()
-                < 1e-12
-        );
+        assert!((pairwise_usable_fraction(0.2) - pairwise_usable_fraction(0.8)).abs() < 1e-12);
         let peak = argmax_p(pairwise_usable_fraction, 0.01, 0.99, 980);
         assert!((peak - 0.5).abs() < 0.01, "peak at {peak}");
     }

@@ -136,11 +136,7 @@ mod tests {
     use crate::clock::StationClock;
 
     fn qs() -> QuarterSlot {
-        QuarterSlot::new(SchedParams::new(
-            Duration::from_millis(10),
-            0.3,
-            7,
-        ))
+        QuarterSlot::new(SchedParams::new(Duration::from_millis(10), 0.3, 7))
     }
 
     #[test]
@@ -191,12 +187,8 @@ mod tests {
         // starts, but the last must still fit a whole packet, so starts at
         // 0, 2500, 5000, 7500 all fit.
         let w = vec![Window::new(Time(10_000), Time(20_000))];
-        let starts = q.admissible_starts(
-            &w,
-            |t| clock.reading(t),
-            |l| clock.time_of_reading(l),
-            10,
-        );
+        let starts =
+            q.admissible_starts(&w, |t| clock.reading(t), |l| clock.time_of_reading(l), 10);
         assert_eq!(
             starts,
             vec![Time(10_000), Time(12_500), Time(15_000), Time(17_500)]
@@ -210,12 +202,8 @@ mod tests {
         // Window covering (10_800, 19_900): quarter points 12500, 15000,
         // 17500 are inside; 17500+2500 = 20000 > 19900, so only two fit.
         let w = vec![Window::new(Time(10_800), Time(19_900))];
-        let starts = q.admissible_starts(
-            &w,
-            |t| clock.reading(t),
-            |l| clock.time_of_reading(l),
-            10,
-        );
+        let starts =
+            q.admissible_starts(&w, |t| clock.reading(t), |l| clock.time_of_reading(l), 10);
         assert_eq!(starts, vec![Time(12_500), Time(15_000)]);
     }
 
@@ -256,12 +244,7 @@ mod tests {
         // times ≡ -1250 mod 2500, i.e. 1250, 3750, ...
         let clock = StationClock::with_offset(1_250);
         let w = vec![Window::new(Time(0), Time(10_000))];
-        let starts = q.admissible_starts(
-            &w,
-            |t| clock.reading(t),
-            |l| clock.time_of_reading(l),
-            3,
-        );
+        let starts = q.admissible_starts(&w, |t| clock.reading(t), |l| clock.time_of_reading(l), 3);
         assert_eq!(starts, vec![Time(1_250), Time(3_750), Time(6_250)]);
     }
 
@@ -270,12 +253,7 @@ mod tests {
         let q = qs();
         let clock = StationClock::ideal();
         let w = vec![Window::new(Time(0), Time(100_000))];
-        let starts = q.admissible_starts(
-            &w,
-            |t| clock.reading(t),
-            |l| clock.time_of_reading(l),
-            5,
-        );
+        let starts = q.admissible_starts(&w, |t| clock.reading(t), |l| clock.time_of_reading(l), 5);
         assert_eq!(starts.len(), 5);
     }
 }

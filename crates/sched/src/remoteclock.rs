@@ -171,8 +171,7 @@ mod tests {
             offset: 3_000_000,
             ppm: 120.0,
         };
-        let mut m =
-            RemoteClockModel::from_first_sample(exchange(&a, &b, Time::ZERO));
+        let mut m = RemoteClockModel::from_first_sample(exchange(&a, &b, Time::ZERO));
         m.add_sample(exchange(&a, &b, Time::from_secs(10)));
         assert!((m.rate() - 1.00012).abs() < 1e-6, "rate {}", m.rate());
         // Predict 100 s ahead: error should be sub-tick-scale.
@@ -203,10 +202,7 @@ mod tests {
 
     #[test]
     fn sliding_window_caps_samples() {
-        let mut m = RemoteClockModel::from_first_sample(ClockSample {
-            mine: 0,
-            theirs: 0,
-        });
+        let mut m = RemoteClockModel::from_first_sample(ClockSample { mine: 0, theirs: 0 });
         for i in 1..20u64 {
             m.add_sample(ClockSample {
                 mine: i * 1000,
@@ -224,8 +220,7 @@ mod tests {
             offset: 123_456,
             ppm: -60.0,
         };
-        let mut m =
-            RemoteClockModel::from_first_sample(exchange(&a, &b, Time::ZERO));
+        let mut m = RemoteClockModel::from_first_sample(exchange(&a, &b, Time::ZERO));
         m.add_sample(exchange(&a, &b, Time::from_secs(5)));
         let mine = a.reading(Time::from_secs(42));
         let theirs = m.predict(mine);
@@ -250,10 +245,7 @@ mod tests {
     fn wild_fit_rejected() {
         // Two samples implying a 5% rate difference: impossible for quartz,
         // treated as noise.
-        let mut m = RemoteClockModel::from_first_sample(ClockSample {
-            mine: 0,
-            theirs: 0,
-        });
+        let mut m = RemoteClockModel::from_first_sample(ClockSample { mine: 0, theirs: 0 });
         m.add_sample(ClockSample {
             mine: 1000,
             theirs: 1050,

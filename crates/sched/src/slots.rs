@@ -109,12 +109,7 @@ impl SchedParams {
     /// `None` within the next `search_limit` slots. (With a pseudo-random
     /// schedule the wait is geometric; the limit only guards against
     /// pathological parameters like `rx_prob = 0`.)
-    pub fn next_slot_of_kind(
-        &self,
-        local: u64,
-        kind: SlotKind,
-        search_limit: u64,
-    ) -> Option<u64> {
+    pub fn next_slot_of_kind(&self, local: u64, kind: SlotKind, search_limit: u64) -> Option<u64> {
         let mut idx = self.slot_index(local);
         // If we're already inside a matching slot, return the current
         // position (the remainder of the slot is usable).

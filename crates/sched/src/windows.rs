@@ -330,11 +330,7 @@ mod tests {
         let rx = s.windows(from, to, SlotKind::Receive);
         let tx = s.windows(from, to, SlotKind::Transmit);
         // RX and TX windows partition [from, to).
-        let total: u64 = rx
-            .iter()
-            .chain(&tx)
-            .map(|w| w.duration().ticks())
-            .sum();
+        let total: u64 = rx.iter().chain(&tx).map(|w| w.duration().ticks()).sum();
         assert_eq!(total, to.since(from).ticks());
         // Windows agree with point queries.
         for w in &rx {

@@ -32,11 +32,7 @@ pub struct RunSummary {
 ///
 /// Events exactly at the horizon are processed; events after it are left in
 /// the queue (so a model can be resumed).
-pub fn run<M: Model>(
-    model: &mut M,
-    queue: &mut EventQueue<M::Event>,
-    horizon: Time,
-) -> RunSummary {
+pub fn run<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>, horizon: Time) -> RunSummary {
     let mut processed = 0u64;
     loop {
         match queue.peek_time() {
@@ -119,7 +115,7 @@ mod tests {
         assert!(!s.drained);
         assert_eq!(s.events_processed, 6); // t=0..=5
         assert_eq!(q.len(), 1); // t=6 still pending
-        // Resume to t=7.
+                                // Resume to t=7.
         let s2 = run(&mut m, &mut q, Time::from_secs(7));
         assert_eq!(s2.events_processed, 2);
     }

@@ -72,10 +72,7 @@ impl Rng {
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -271,8 +268,7 @@ mod tests {
         let n = 200_000;
         let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.1, "var {var}");
     }
@@ -281,8 +277,7 @@ mod tests {
     fn poisson_small_mean() {
         let mut r = Rng::new(17);
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| r.poisson(2.5) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| r.poisson(2.5) as f64).sum::<f64>() / n as f64;
         assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
     }
 
@@ -290,8 +285,7 @@ mod tests {
     fn poisson_large_mean_uses_normal_path() {
         let mut r = Rng::new(19);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| r.poisson(200.0) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| r.poisson(200.0) as f64).sum::<f64>() / n as f64;
         assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
     }
 

@@ -156,8 +156,7 @@ impl Histogram {
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let rank = ((q * (sorted.len() - 1) as f64).round() as usize)
-            .min(sorted.len() - 1);
+        let rank = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
         Some(sorted[rank])
     }
 
@@ -227,8 +226,7 @@ impl TimeWeighted {
         if total <= 0.0 {
             return self.value;
         }
-        let integral =
-            self.integral + self.value * now.since(self.last_change).as_secs_f64();
+        let integral = self.integral + self.value * now.since(self.last_change).as_secs_f64();
         integral / total
     }
 }
@@ -322,7 +320,7 @@ mod tests {
         let mut w = TimeWeighted::new(Time::ZERO, 0.0);
         w.set(Time::from_secs(1), 10.0); // 0 for 1s
         w.set(Time::from_secs(3), 20.0); // 10 for 2s
-        // value 20 for 1s, queried at t=4: integral = 0 + 20 + 20 = 40
+                                         // value 20 for 1s, queried at t=4: integral = 0 + 20 + 20 = 40
         let avg = w.average(Time::from_secs(4));
         assert!((avg - 10.0).abs() < 1e-12, "avg {avg}");
         assert_eq!(w.current(), 20.0);

@@ -10,7 +10,7 @@
 //! control adapts to density variation and the scheme stays collision-free
 //! where contention MACs shed packets.
 
-use parn::baseline::{Aloha, BaselineConfig, Csma, Maca, MacKind, Scenario};
+use parn::baseline::{Aloha, BaselineConfig, Csma, MacKind, Maca, Scenario};
 use parn::core::{DestPolicy, NetConfig, Network};
 use parn::phys::placement::Placement;
 use parn::phys::PowerW;

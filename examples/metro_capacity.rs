@@ -11,13 +11,16 @@
 //! metro under various spectrum allocations.
 
 use parn::phys::linkbudget::SystemDesign;
-use parn::phys::noise::{snr_vs_scale_db, relative_net_throughput};
+use parn::phys::noise::{relative_net_throughput, snr_vs_scale_db};
 use parn::phys::shannon::spectral_efficiency;
 use parn::phys::units::snr_from_db;
 
 fn main() {
     println!("== SNR decline with scale (Eq. 15: S/N = 1/(pi * eta * ln M)) ==\n");
-    println!("{:>14} | {:>9} {:>9} {:>9} {:>9} {:>9}", "stations", "eta=0.05", "0.1", "0.2", "0.5", "1.0");
+    println!(
+        "{:>14} | {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "stations", "eta=0.05", "0.1", "0.2", "0.5", "1.0"
+    );
     for decade in [2u32, 4, 6, 8, 10, 12] {
         let m = 10f64.powi(decade as i32);
         let row: Vec<String> = [0.05, 0.1, 0.2, 0.5, 1.0]
@@ -28,7 +31,11 @@ fn main() {
     }
 
     println!("\n== Shannon capacity at din-limited SNR ==\n");
-    for (label, db) in [("-20 dB (eta=1.0, M=1e12)", -20.0), ("-14 dB (eta=0.25)", -14.0), ("-10 dB (eta=0.25, M=1e6)", -10.4)] {
+    for (label, db) in [
+        ("-20 dB (eta=1.0, M=1e12)", -20.0),
+        ("-14 dB (eta=0.25)", -14.0),
+        ("-10 dB (eta=0.25, M=1e6)", -10.4),
+    ] {
         let eff = spectral_efficiency(snr_from_db(db));
         println!(
             "  SNR {label:<26} C/W = {:.4} bit/s/Hz  ({:.0} bit/s per kHz)",

@@ -120,8 +120,7 @@ fn cmd_run(args: &Args) -> ExitCode {
     let mut queue = parn::sim::EventQueue::new();
     let mut net = net;
     net.prime(&mut queue);
-    let end = parn::sim::Time::ZERO
-        + Duration::from_secs_f64(args.num("secs", 20.0));
+    let end = parn::sim::Time::ZERO + Duration::from_secs_f64(args.num("secs", 20.0));
     parn::sim::run(&mut net, &mut queue, end);
     if args.has("verbose") {
         for r in net.tracer().records() {
@@ -175,17 +174,17 @@ fn cmd_capacity(args: &Args) -> ExitCode {
         d.raw_rate_bps() / 1e6
     );
     println!("processing gain   {:.1} dB", d.processing_gain_db());
-    println!(
-        "sustained/station {:.2} Mb/s",
-        d.sustained_rate_bps() / 1e6
-    );
+    println!("sustained/station {:.2} Mb/s", d.sustained_rate_bps() / 1e6);
     ExitCode::SUCCESS
 }
 
 fn cmd_sweep_p(args: &Args) -> ExitCode {
     let n: usize = args.num("stations", 30);
     let rate: f64 = args.num("rate", 10.0);
-    println!("{:>5} {:>12} {:>10} {:>11}", "p", "goodput b/s", "delay ms", "collisions");
+    println!(
+        "{:>5} {:>12} {:>10} {:>11}",
+        "p", "goodput b/s", "delay ms", "collisions"
+    );
     for p in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7] {
         let mut cfg = NetConfig::paper_default(n, 5);
         cfg.sched.rx_prob = p;

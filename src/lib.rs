@@ -26,6 +26,8 @@
 //! println!("{}", metrics.summary());
 //! ```
 
+pub mod testkit;
+
 pub use parn_baseline as baseline;
 pub use parn_core as core;
 pub use parn_phys as phys;

@@ -1,0 +1,71 @@
+//! A tiny deterministic property-testing harness.
+//!
+//! The workspace's property suites originally rode on an external
+//! property-testing crate; this vendored replacement keeps the same
+//! shape — run a closure over many pseudo-random cases — with zero
+//! dependencies so the suite builds in hermetic environments. Cases are
+//! deterministic in the property label and case index, so a failure
+//! report ("failed on case k") is always reproducible.
+
+use parn_sim::Rng;
+
+/// Default number of cases per property (matches the old suites' order
+/// of magnitude; individual properties may override).
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Run `body` over `n` deterministic pseudo-random cases.
+///
+/// Each case receives its index and a fresh [`Rng`] derived from the
+/// property `label` and the index. On panic, the failing case index is
+/// printed so the case can be replayed in isolation.
+pub fn cases(n: u64, label: &str, mut body: impl FnMut(u64, &mut Rng)) {
+    for case in 0..n {
+        let mut rng =
+            Rng::new(0xC0DE_CA5E ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)).substream(label);
+        let guard = CaseGuard { label, case };
+        body(case, &mut rng);
+        std::mem::forget(guard);
+    }
+}
+
+/// Prints the failing case on unwind (skipped via `mem::forget` on
+/// success).
+struct CaseGuard<'a> {
+    label: &'a str,
+    case: u64,
+}
+
+impl Drop for CaseGuard<'_> {
+    fn drop(&mut self) {
+        eprintln!(
+            "testkit: property '{}' failed on case {} (re-run with `cases({}, ..)` \
+             and filter on this index)",
+            self.label,
+            self.case,
+            self.case + 1
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        cases(5, "det", |i, rng| a.push((i, rng.next_u64())));
+        cases(5, "det", |i, rng| b.push((i, rng.next_u64())));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_decorrelate_streams() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        cases(5, "one", |_, rng| a.push(rng.next_u64()));
+        cases(5, "two", |_, rng| b.push(rng.next_u64()));
+        assert_ne!(a, b);
+    }
+}

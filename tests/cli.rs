@@ -12,7 +12,11 @@ fn run_reports_collision_free() {
         .args(["run", "--stations", "25", "--secs", "4", "--rate", "2"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("collision-free: OK"), "{stdout}");
     assert!(stdout.contains("type 1 collisions  0"), "{stdout}");

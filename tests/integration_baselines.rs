@@ -1,7 +1,7 @@
 //! Integration tests contrasting the scheme with the baseline MACs over
 //! identical physics (experiment E3's acceptance criteria).
 
-use parn::baseline::{Aloha, BaselineConfig, Csma, Maca, MacKind, Scenario};
+use parn::baseline::{Aloha, BaselineConfig, Csma, MacKind, Maca, Scenario};
 use parn::core::{DestPolicy, NetConfig, Network};
 use parn::phys::PowerW;
 use parn::sim::Duration;

@@ -2,7 +2,7 @@
 //! mechanisms (failures, piggyback sync, shadowing, distributed routing,
 //! SIC) running together.
 
-use parn::core::{DestPolicy, NetConfig, Network, SyncMode};
+use parn::core::{DestPolicy, NetConfig, Network, RouteMode, SyncMode};
 use parn::sim::Duration;
 
 fn base(n: usize, seed: u64) -> NetConfig {
@@ -33,10 +33,7 @@ fn shadowing_with_failures_heals_over_shadowed_graph() {
     let mut c = base(60, 67);
     c.shadowing_sigma_db = 6.0;
     c.reach_factor = 3.0;
-    c.failures = vec![
-        (Duration::from_secs(3), 5),
-        (Duration::from_secs(5), 23),
-    ];
+    c.failures = vec![(Duration::from_secs(3), 5), (Duration::from_secs(5), 23)];
     let m = Network::run(c);
     assert!(m.delivered > 200, "{}", m.summary());
     assert_eq!(m.collision_losses(), 0, "{}", m.summary());
@@ -45,7 +42,7 @@ fn shadowing_with_failures_heals_over_shadowed_graph() {
 #[test]
 fn distributed_routing_with_drift_and_neighbor_traffic() {
     let mut c = base(40, 71);
-    c.distributed_routing = true;
+    c.route_mode = RouteMode::Distributed;
     c.clock.max_ppm = 150.0;
     c.traffic.dest = DestPolicy::Neighbors;
     let m = Network::run(c);
@@ -62,7 +59,7 @@ fn everything_on_at_once() {
     let mut c = base(50, 73);
     c.shadowing_sigma_db = 4.0;
     c.reach_factor = 3.0;
-    c.distributed_routing = true;
+    c.route_mode = RouteMode::Distributed;
     c.clock.sync = SyncMode::Piggyback {
         hello_interval: Duration::from_secs(2),
     };

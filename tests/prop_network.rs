@@ -2,95 +2,97 @@
 //! scenarios must uphold the global invariants regardless of parameters.
 
 use parn::core::{DestPolicy, NetConfig, Network};
-use parn::sim::Duration;
-use proptest::prelude::*;
+use parn::sim::{Duration, Rng};
+use parn::testkit::cases;
 
-fn config_strategy() -> impl Strategy<Value = NetConfig> {
-    (
-        5usize..25,              // stations
-        0u64..1000,              // seed
-        1u64..40,                // arrival rate dHz (0.1..4.0 /s)
-        prop::bool::ANY,         // neighbor traffic?
-        0u64..200,               // max ppm
-        prop::bool::ANY,         // protection on?
-        0u64..3,                 // shadowing tier
-    )
-        .prop_map(|(n, seed, rate_d, neigh, ppm, prot, shadow)| {
-            let mut cfg = NetConfig::paper_default(n, seed);
-            cfg.run_for = Duration::from_secs(3);
-            cfg.warmup = Duration::from_millis(500);
-            cfg.traffic.arrivals_per_station_per_sec = rate_d as f64 / 10.0;
-            if neigh {
-                cfg.traffic.dest = DestPolicy::Neighbors;
-            }
-            cfg.clock.max_ppm = ppm as f64;
-            cfg.protection.enabled = prot;
-            cfg.shadowing_sigma_db = shadow as f64 * 4.0;
-            if shadow > 0 {
-                cfg.reach_factor = 3.0;
-            }
-            cfg
-        })
+fn random_config(rng: &mut Rng) -> NetConfig {
+    let n = 5 + rng.below(20) as usize;
+    let seed = rng.below(1000);
+    let mut cfg = NetConfig::paper_default(n, seed);
+    cfg.run_for = Duration::from_secs(3);
+    cfg.warmup = Duration::from_millis(500);
+    cfg.traffic.arrivals_per_station_per_sec = (1 + rng.below(39)) as f64 / 10.0;
+    if rng.chance(0.5) {
+        cfg.traffic.dest = DestPolicy::Neighbors;
+    }
+    cfg.clock.max_ppm = rng.below(200) as f64;
+    cfg.protection.enabled = rng.chance(0.5);
+    let shadow = rng.below(3);
+    cfg.shadowing_sigma_db = shadow as f64 * 4.0;
+    if shadow > 0 {
+        cfg.reach_factor = 3.0;
+    }
+    cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn ledger_always_balances(cfg in config_strategy()) {
+#[test]
+fn ledger_always_balances() {
+    cases(24, "ledger", |_, rng| {
+        let cfg = random_config(rng);
         let m = Network::run(cfg);
         // Conservation: every generated packet is delivered, in flight, or
         // settled as a drop; never double counted, never lost silently.
-        prop_assert!(m.delivered + m.in_flight_at_end <= m.generated);
-        prop_assert!(m.hop_successes <= m.hop_attempts);
+        assert!(m.delivered + m.in_flight_at_end <= m.generated);
+        assert!(m.hop_successes <= m.hop_attempts);
         // Failed hop attempts are exactly the recorded losses.
-        prop_assert_eq!(
+        assert_eq!(
             m.hop_attempts - m.hop_successes,
             m.total_losses(),
-            "loss ledger mismatch: {}", m.summary()
+            "loss ledger mismatch: {}",
+            m.summary()
         );
-    }
+    });
+}
 
-    #[test]
-    fn scheme_is_collision_free_across_parameter_space(cfg in config_strategy()) {
+#[test]
+fn scheme_is_collision_free_across_parameter_space() {
+    cases(24, "collision_free", |_, rng| {
         // The guarantee belongs to the *full* scheme: §7.3 neighbour
-        // protection is part of it. (The strategy randomizes the flag for
+        // protection is part of it. (The generator randomizes the flag for
         // the other properties because the ledger/reproducibility
         // invariants must hold even for ablated configurations; this
-        // proptest itself once caught a hyper-dense 6-station disk where
+        // property once caught a hyper-dense 6-station disk where
         // disabling §7.3 produces a Type-1 collision, exactly as ablation
         // A1 predicts.)
-        let mut cfg = cfg;
+        let mut cfg = random_config(rng);
         cfg.protection.enabled = true;
         let m = Network::run(cfg.clone());
-        prop_assert_eq!(
+        assert_eq!(
             m.collision_losses(),
             0,
-            "collisions under cfg {:?}: {}", cfg, m.summary()
+            "collisions under cfg {:?}: {}",
+            cfg,
+            m.summary()
         );
-        prop_assert_eq!(m.schedule_violations, 0);
-    }
+        assert_eq!(m.schedule_violations, 0);
+    });
+}
 
-    #[test]
-    fn runs_are_reproducible(cfg in config_strategy()) {
+#[test]
+fn runs_are_reproducible() {
+    cases(24, "reproducible", |_, rng| {
+        let cfg = random_config(rng);
         let a = Network::run(cfg.clone());
         let b = Network::run(cfg);
-        prop_assert_eq!(a.generated, b.generated);
-        prop_assert_eq!(a.delivered, b.delivered);
-        prop_assert_eq!(a.hop_attempts, b.hop_attempts);
-        prop_assert_eq!(a.retransmissions, b.retransmissions);
-        prop_assert_eq!(a.hellos_sent, b.hellos_sent);
-        prop_assert!((a.e2e_delay.mean() - b.e2e_delay.mean()).abs() < 1e-12);
-    }
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.hop_attempts, b.hop_attempts);
+        assert_eq!(a.retransmissions, b.retransmissions);
+        assert_eq!(a.hellos_sent, b.hellos_sent);
+        assert!((a.e2e_delay.mean() - b.e2e_delay.mean()).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn delays_are_physical(cfg in config_strategy()) {
+#[test]
+fn delays_are_physical() {
+    cases(24, "physical_delay", |_, rng| {
         // Any delivered packet took at least one packet air time per hop.
+        let cfg = random_config(rng);
         let airtime = cfg.packet_airtime().as_secs_f64();
         let m = Network::run(cfg);
         if m.delivered > 0 {
-            prop_assert!(m.e2e_delay.min() >= airtime * 0.99);
-            prop_assert!(m.hops_per_packet.min() >= 1.0);
+            assert!(m.e2e_delay.min() >= airtime * 0.99);
+            assert!(m.hops_per_packet.min() >= 1.0);
         }
-    }
+    });
 }

@@ -7,7 +7,7 @@ use parn::phys::propagation::FreeSpace;
 use parn::phys::{Gain, GainMatrix};
 use parn::route::{dijkstra, DistributedBellmanFord, EnergyGraph, RouteTable};
 use parn::sim::Rng;
-use proptest::prelude::*;
+use parn::testkit::cases;
 
 fn random_graph(seed: u64, n: usize, p_edge: f64) -> EnergyGraph {
     let mut rng = Rng::new(seed);
@@ -36,11 +36,11 @@ fn geometric_graph(seed: u64, n: usize) -> (EnergyGraph, GainMatrix) {
     (g, gm)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn bellman_ford_matches_dijkstra(seed in 0u64..10_000, n in 3usize..25) {
+#[test]
+fn bellman_ford_matches_dijkstra() {
+    cases(32, "bf_vs_dijkstra", |_, rng| {
+        let seed = rng.below(10_000);
+        let n = 3 + rng.below(22) as usize;
         let g = random_graph(seed, n, 0.3);
         let mut bf = DistributedBellmanFord::new(g.clone());
         bf.run_async(&mut Rng::new(seed ^ 0xABCD), 50 * n);
@@ -49,69 +49,75 @@ proptest! {
             for dst in 0..n {
                 let (a, b) = (sp.dist[dst], bf.node(src).dist[dst]);
                 if a.is_finite() {
-                    prop_assert!((a - b).abs() < 1e-9, "{src}->{dst}: {a} vs {b}");
+                    assert!((a - b).abs() < 1e-9, "{src}->{dst}: {a} vs {b}");
                 } else {
-                    prop_assert!(b.is_infinite());
+                    assert!(b.is_infinite());
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn route_costs_obey_triangle_inequality(seed in 0u64..10_000) {
-        let (g, _) = geometric_graph(seed, 30);
+#[test]
+fn route_costs_obey_triangle_inequality() {
+    cases(32, "triangle", |_, rng| {
+        let (g, _) = geometric_graph(rng.below(10_000), 30);
         let t = RouteTable::centralized(&g);
         for a in 0..30 {
             for b in 0..30 {
                 for c in [0usize, 7, 14, 21, 29] {
                     let (ab, ac, cb) = (t.cost(a, b), t.cost(a, c), t.cost(c, b));
                     if ac.is_finite() && cb.is_finite() {
-                        prop_assert!(
-                            ab <= ac + cb + 1e-9,
-                            "triangle violated {a}->{b} via {c}"
-                        );
+                        assert!(ab <= ac + cb + 1e-9, "triangle violated {a}->{b} via {c}");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn table_is_internally_consistent(seed in 0u64..10_000) {
+#[test]
+fn table_is_internally_consistent() {
+    cases(32, "consistent", |_, rng| {
+        let seed = rng.below(10_000);
         let (g, _) = geometric_graph(seed, 25);
         let t = RouteTable::centralized(&g);
-        prop_assert!(t.check_consistency(&g).is_ok());
-        let mut rng = Rng::new(seed);
-        let d = RouteTable::distributed(&g, &mut rng);
-        prop_assert!(d.check_consistency(&g).is_ok());
-    }
+        assert!(t.check_consistency(&g).is_ok());
+        let mut rng2 = Rng::new(seed);
+        let d = RouteTable::distributed(&g, &mut rng2);
+        assert!(d.check_consistency(&g).is_ok());
+    });
+}
 
-    #[test]
-    fn next_hops_are_usable_edges(seed in 0u64..10_000) {
-        let (g, gm) = geometric_graph(seed, 25);
+#[test]
+fn next_hops_are_usable_edges() {
+    cases(32, "usable_hops", |_, rng| {
+        let (g, gm) = geometric_graph(rng.below(10_000), 25);
         let t = RouteTable::centralized(&g);
         for s in 0..25 {
             for d in 0..25 {
                 if let Some(h) = t.next_hop(s, d) {
-                    prop_assert!(g.edge_cost(s, h).is_some(), "{s}->{h} not a usable hop");
-                    prop_assert!(gm.gain(h, s).value() > 0.0);
+                    assert!(g.edge_cost(s, h).is_some(), "{s}->{h} not a usable hop");
+                    assert!(gm.gain(h, s).value() > 0.0);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn route_cost_monotone_along_path(seed in 0u64..10_000) {
-        // Walking a route toward the destination strictly decreases the
-        // remaining cost (the loop-freedom argument for hop-by-hop
-        // forwarding).
-        let (g, _) = geometric_graph(seed, 25);
+#[test]
+fn route_cost_monotone_along_path() {
+    // Walking a route toward the destination strictly decreases the
+    // remaining cost (the loop-freedom argument for hop-by-hop
+    // forwarding).
+    cases(32, "monotone_path", |_, rng| {
+        let (g, _) = geometric_graph(rng.below(10_000), 25);
         let t = RouteTable::centralized(&g);
         for s in 0..25 {
             for d in 0..25 {
                 if let Some(p) = t.path(s, d) {
                     for w in p.windows(2) {
-                        prop_assert!(
+                        assert!(
                             t.cost(w[1], d) < t.cost(w[0], d) + 1e-12
                                 || (w[1] == d && t.cost(w[1], d) == 0.0)
                         );
@@ -119,17 +125,19 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn activation_order_is_irrelevant(seed in 0u64..5_000) {
-        let g = random_graph(seed, 15, 0.35);
+#[test]
+fn activation_order_is_irrelevant() {
+    cases(32, "order_free", |_, rng| {
+        let g = random_graph(rng.below(5_000), 15, 0.35);
         let mut a = DistributedBellmanFord::new(g.clone());
         let mut b = DistributedBellmanFord::new(g);
         a.run_async(&mut Rng::new(1), 500);
         b.run_async(&mut Rng::new(2), 500);
         for s in 0..15 {
-            prop_assert_eq!(&a.node(s).dist, &b.node(s).dist);
+            assert_eq!(&a.node(s).dist, &b.node(s).dist);
         }
-    }
+    });
 }

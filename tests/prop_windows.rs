@@ -4,133 +4,145 @@ use parn::sched::{
     intersect_lists, subtract_lists, QuarterSlot, SchedParams, SlotKind, StationClock,
     StationSchedule, Window,
 };
-use parn::sim::{Duration, Time};
-use proptest::prelude::*;
+use parn::sim::{Duration, Rng, Time};
+use parn::testkit::cases;
 
-/// Strategy: a sorted list of disjoint windows inside [0, span).
-fn windows(span: u64, max_windows: usize) -> impl Strategy<Value = Vec<Window>> {
-    prop::collection::vec((0..span, 1..span / 4 + 1), 0..max_windows).prop_map(
-        move |raw| {
-            let mut cuts: Vec<(u64, u64)> = raw
-                .into_iter()
-                .map(|(s, len)| (s, (s + len).min(span)))
-                .filter(|&(s, e)| e > s)
-                .collect();
-            cuts.sort();
-            // Merge overlaps to keep the list disjoint and sorted.
-            let mut out: Vec<Window> = Vec::new();
-            for (s, e) in cuts {
-                match out.last_mut() {
-                    Some(last) if Time(s) <= last.end => {
-                        last.end = last.end.max(Time(e));
-                    }
-                    _ => out.push(Window::new(Time(s), Time(e))),
-                }
+/// Generate a sorted list of disjoint windows inside [0, span).
+fn windows(rng: &mut Rng, span: u64, max_windows: usize) -> Vec<Window> {
+    let count = rng.below(max_windows as u64 + 1) as usize;
+    let mut cuts: Vec<(u64, u64)> = (0..count)
+        .map(|_| {
+            let s = rng.below(span);
+            let len = 1 + rng.below(span / 4);
+            (s, (s + len).min(span))
+        })
+        .filter(|&(s, e)| e > s)
+        .collect();
+    cuts.sort();
+    // Merge overlaps to keep the list disjoint and sorted.
+    let mut out: Vec<Window> = Vec::new();
+    for (s, e) in cuts {
+        match out.last_mut() {
+            Some(last) if Time(s) <= last.end => {
+                last.end = last.end.max(Time(e));
             }
-            out
-        },
-    )
+            _ => out.push(Window::new(Time(s), Time(e))),
+        }
+    }
+    out
 }
 
 fn measure(ws: &[Window]) -> u64 {
     ws.iter().map(|w| w.duration().ticks()).sum()
 }
 
-proptest! {
-    #[test]
-    fn intersection_is_commutative(a in windows(10_000, 8), b in windows(10_000, 8)) {
-        prop_assert_eq!(intersect_lists(&a, &b), intersect_lists(&b, &a));
-    }
+#[test]
+fn intersection_is_commutative() {
+    cases(256, "inter_comm", |_, rng| {
+        let a = windows(rng, 10_000, 8);
+        let b = windows(rng, 10_000, 8);
+        assert_eq!(intersect_lists(&a, &b), intersect_lists(&b, &a));
+    });
+}
 
-    #[test]
-    fn intersection_bounded_by_operands(a in windows(10_000, 8), b in windows(10_000, 8)) {
+#[test]
+fn intersection_bounded_by_operands() {
+    cases(256, "inter_bound", |_, rng| {
+        let a = windows(rng, 10_000, 8);
+        let b = windows(rng, 10_000, 8);
         let i = intersect_lists(&a, &b);
-        prop_assert!(measure(&i) <= measure(&a).min(measure(&b)));
+        assert!(measure(&i) <= measure(&a).min(measure(&b)));
         // Every intersection instant is in both operands.
         for w in &i {
-            prop_assert!(a.iter().any(|x| x.start <= w.start && w.end <= x.end));
-            prop_assert!(b.iter().any(|x| x.start <= w.start && w.end <= x.end));
+            assert!(a.iter().any(|x| x.start <= w.start && w.end <= x.end));
+            assert!(b.iter().any(|x| x.start <= w.start && w.end <= x.end));
         }
-    }
+    });
+}
 
-    #[test]
-    fn subtraction_partitions_measure(a in windows(10_000, 8), b in windows(10_000, 8)) {
+#[test]
+fn subtraction_partitions_measure() {
+    cases(256, "sub_partition", |_, rng| {
         // |A| = |A − B| + |A ∩ B|.
+        let a = windows(rng, 10_000, 8);
+        let b = windows(rng, 10_000, 8);
         let diff = subtract_lists(&a, &b);
         let inter = intersect_lists(&a, &b);
-        prop_assert_eq!(measure(&a), measure(&diff) + measure(&inter));
+        assert_eq!(measure(&a), measure(&diff) + measure(&inter));
         // And the difference is disjoint from B.
-        prop_assert!(intersect_lists(&diff, &b).is_empty());
-    }
+        assert!(intersect_lists(&diff, &b).is_empty());
+    });
+}
 
-    #[test]
-    fn subtract_self_is_empty(a in windows(10_000, 8)) {
-        prop_assert!(subtract_lists(&a, &a).is_empty());
-    }
+#[test]
+fn subtract_self_is_empty() {
+    cases(256, "sub_self", |_, rng| {
+        let a = windows(rng, 10_000, 8);
+        assert!(subtract_lists(&a, &a).is_empty());
+    });
+}
 
-    #[test]
-    fn schedule_windows_partition_time(
-        offset in 0u64..1u64 << 40,
-        span_ms in 50u64..400,
-    ) {
+#[test]
+fn schedule_windows_partition_time() {
+    cases(256, "sched_partition", |_, rng| {
+        let offset = rng.below(1 << 40);
+        let span_ms = 50 + rng.below(350);
         let params = SchedParams::paper_default();
         let s = StationSchedule::new(params, StationClock::with_offset(offset));
         let from = Time::from_secs(1);
         let to = from + Duration::from_millis(span_ms);
         let rx = s.windows(from, to, SlotKind::Receive);
         let tx = s.windows(from, to, SlotKind::Transmit);
-        prop_assert_eq!(
-            measure(&rx) + measure(&tx),
-            to.since(from).ticks()
-        );
-        prop_assert!(intersect_lists(&rx, &tx).is_empty());
-    }
+        assert_eq!(measure(&rx) + measure(&tx), to.since(from).ticks());
+        assert!(intersect_lists(&rx, &tx).is_empty());
+    });
+}
 
-    #[test]
-    fn clock_reading_round_trip(
-        offset in 0u64..1u64 << 40,
-        ppm in -300.0f64..300.0,
-        secs in 0u64..10_000,
-    ) {
+#[test]
+fn clock_reading_round_trip() {
+    cases(256, "clock_rt", |_, rng| {
+        let offset = rng.below(1 << 40);
+        let ppm = rng.range_f64(-300.0, 300.0);
+        let secs = rng.below(10_000);
         let c = StationClock { offset, ppm };
         let t = Time::from_secs(secs);
         let back = c.time_of_reading(c.reading(t)).unwrap();
-        prop_assert!(back.ticks().abs_diff(t.ticks()) <= 1);
-    }
+        assert!(back.ticks().abs_diff(t.ticks()) <= 1);
+    });
+}
 
-    #[test]
-    fn quarter_alignment_invariants(local in 0u64..1u64 << 50) {
+#[test]
+fn quarter_alignment_invariants() {
+    cases(256, "quarter_align", |_, rng| {
+        let local = rng.below(1 << 50);
         let qs = QuarterSlot::new(SchedParams::paper_default());
         let up = qs.align_up_local(local);
-        prop_assert!(up >= local);
-        prop_assert!(up - local < 2_500);
-        prop_assert!(qs.is_aligned_local(up));
-    }
+        assert!(up >= local);
+        assert!(up - local < 2_500);
+        assert!(qs.is_aligned_local(up));
+    });
+}
 
-    #[test]
-    fn admissible_starts_fit_whole_packets(
-        offset in 0u64..1u64 << 40,
-        w_start in 0u64..100_000,
-        w_len in 1u64..50_000,
-    ) {
+#[test]
+fn admissible_starts_fit_whole_packets() {
+    cases(256, "admissible", |_, rng| {
+        let offset = rng.below(1 << 40);
+        let w_start = rng.below(100_000);
+        let w_len = 1 + rng.below(49_999);
         let params = SchedParams::paper_default();
         let qs = QuarterSlot::new(params);
         let clock = StationClock::with_offset(offset);
         let w = Window::new(Time(w_start), Time(w_start + w_len));
-        let starts = qs.admissible_starts(
-            &[w],
-            |t| clock.reading(t),
-            |l| clock.time_of_reading(l),
-            64,
-        );
+        let starts =
+            qs.admissible_starts(&[w], |t| clock.reading(t), |l| clock.time_of_reading(l), 64);
         let len = qs.packet_len();
         for st in starts {
-            prop_assert!(w.fits(st, len), "start {st:?} overflows {w:?}");
+            assert!(w.fits(st, len), "start {st:?} overflows {w:?}");
             // Starts are quarter-aligned on the local clock (±1 tick of
             // inverse-clock rounding).
             let local = clock.reading(st);
             let rem = local % 2_500;
-            prop_assert!(rem <= 1 || rem >= 2_499, "local {local} not aligned");
+            assert!(rem <= 1 || rem >= 2_499, "local {local} not aligned");
         }
-    }
+    });
 }
