@@ -88,6 +88,88 @@ pub struct BaselineConfig {
 }
 
 impl BaselineConfig {
+    /// Serialize the scenario for `BENCH_*.json` provenance manifests
+    /// (schema in `docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> parn_sim::Json {
+        use parn_sim::json::{obj, Json};
+        let placement = match &self.placement {
+            Placement::UniformDisk { n, radius } => obj([
+                ("kind", "uniform_disk".into()),
+                ("n", (*n).into()),
+                ("radius_m", (*radius).into()),
+            ]),
+            other => obj([("kind", format!("{other:?}").into())]),
+        };
+        let power = match self.power {
+            PowerPolicy::Controlled { target, max } => obj([
+                ("kind", "controlled".into()),
+                ("target_w", target.value().into()),
+                ("max_w", max.value().into()),
+            ]),
+            PowerPolicy::Fixed(p) => obj([("kind", "fixed".into()), ("power_w", p.value().into())]),
+        };
+        let mac = match &self.mac {
+            MacKind::PureAloha => obj([("kind", "pure_aloha".into())]),
+            MacKind::SlottedAloha { slot } => obj([
+                ("kind", "slotted_aloha".into()),
+                ("slot_s", slot.as_secs_f64().into()),
+            ]),
+            MacKind::Csma { sense_threshold } => obj([
+                ("kind", "csma".into()),
+                ("sense_threshold_w", sense_threshold.value().into()),
+            ]),
+            MacKind::Maca { ctrl_airtime } => obj([
+                ("kind", "maca".into()),
+                ("ctrl_airtime_s", ctrl_airtime.as_secs_f64().into()),
+            ]),
+        };
+        let phy_backend = match &self.phy_backend {
+            PhyBackend::Dense => obj([("kind", "dense".into())]),
+            PhyBackend::Grid { far_field } => obj([
+                ("kind", "grid".into()),
+                (
+                    "far_field",
+                    match far_field {
+                        None => Json::Null,
+                        Some(ff) => obj([
+                            ("near_radius_factor", ff.near_radius_factor.into()),
+                            ("tolerance", ff.tolerance.into()),
+                        ]),
+                    },
+                ),
+            ]),
+        };
+        obj([
+            ("seed", self.seed.into()),
+            ("placement", placement),
+            (
+                "criterion",
+                obj([
+                    ("rate_bps", self.criterion.rate_bps.into()),
+                    ("bandwidth_hz", self.criterion.bandwidth_hz.into()),
+                    ("margin", self.criterion.margin.into()),
+                ]),
+            ),
+            ("power", power),
+            ("noise_w", self.noise.value().into()),
+            ("self_gain", self.self_gain.into()),
+            ("despreaders", self.despreaders.into()),
+            ("sic_depth", self.sic_depth.into()),
+            ("reach_factor", self.reach_factor.into()),
+            ("airtime_s", self.airtime.as_secs_f64().into()),
+            (
+                "arrivals_per_station_per_sec",
+                self.arrivals_per_station_per_sec.into(),
+            ),
+            ("mean_backoff_s", self.mean_backoff.as_secs_f64().into()),
+            ("max_retries", u64::from(self.max_retries).into()),
+            ("mac", mac),
+            ("phy_backend", phy_backend),
+            ("run_for_s", self.run_for.as_secs_f64().into()),
+            ("warmup_s", self.warmup.as_secs_f64().into()),
+        ])
+    }
+
     /// A baseline scenario matched to [`parn_core::NetConfig::paper_default`]:
     /// same density, criterion, power control and packet size.
     pub fn matched(n: usize, seed: u64, mac: MacKind) -> BaselineConfig {

@@ -13,8 +13,21 @@
 //!   scheme must degrade *visibly and accountably* (schedule violations /
 //!   Type-3 losses), never silently.
 
+use parn_bench::report::{timed, Reporter, Run};
 use parn_core::{NetConfig, Network, SyncMode};
 use parn_sim::Duration;
+
+fn run_recorded(reporter: &Reporter, label: String, cfg: NetConfig) -> parn_core::Metrics {
+    parn_sim::obs::reset();
+    let (m, wall_s) = timed(|| Network::run(cfg.clone()));
+    reporter.record(&Run {
+        label,
+        config: cfg.to_json(),
+        metrics: m.to_json(),
+        wall_s,
+    });
+    m
+}
 
 fn base(seed: u64) -> NetConfig {
     let mut cfg = NetConfig::paper_default(60, seed);
@@ -26,6 +39,7 @@ fn base(seed: u64) -> NetConfig {
 
 fn main() {
     println!("# A2: clock drift and schedule staleness\n");
+    let reporter = Reporter::create("abl_clock_drift");
 
     println!("## drift sweep (resync every 5 s, 200 us guard)");
     println!(
@@ -35,7 +49,7 @@ fn main() {
     for &ppm in &[0.0, 20.0, 50.0, 100.0, 200.0] {
         let mut cfg = base(41);
         cfg.clock.max_ppm = ppm;
-        let m = Network::run(cfg);
+        let m = run_recorded(&reporter, format!("drift ppm={ppm}"), cfg);
         println!(
             "{:<10} {:>10.2}% {:>11} {:>12} {:>11}",
             ppm,
@@ -65,8 +79,12 @@ fn main() {
             cfg.clock.sync = SyncMode::None;
         }
         cfg.clock.guard = Duration::from_micros(guard_us);
-        let m = Network::run(cfg);
         let label = if starved { "never" } else { "5 s" };
+        let m = run_recorded(
+            &reporter,
+            format!("resync={label} guard_us={guard_us}"),
+            cfg,
+        );
         println!(
             "{:<16} {:>10.2}% {:>11} {:>12} {:>10}",
             label,
@@ -109,7 +127,7 @@ fn main() {
         let mut cfg = base(47);
         cfg.clock.max_ppm = 100.0;
         cfg.clock.guard = Duration::from_micros(g);
-        let m = Network::run(cfg);
+        let m = run_recorded(&reporter, format!("guard-sweep guard_us={g}"), cfg);
         println!(
             "{:<10} {:>10.2}% {:>11} {:>12}",
             g,

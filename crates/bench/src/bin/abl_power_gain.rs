@@ -11,9 +11,22 @@
 //!    schedules alone cannot protect receptions from the din of parallel
 //!    transmissions.
 
+use parn_bench::report::{timed, Reporter, Run};
 use parn_core::{NetConfig, Network};
 use parn_phys::{PowerW, ReceptionCriterion};
 use parn_sim::Duration;
+
+fn run_recorded(reporter: &Reporter, label: String, cfg: NetConfig) -> parn_core::Metrics {
+    parn_sim::obs::reset();
+    let (m, wall_s) = timed(|| Network::run(cfg.clone()));
+    reporter.record(&Run {
+        label,
+        config: cfg.to_json(),
+        metrics: m.to_json(),
+        wall_s,
+    });
+    m
+}
 
 fn base(n: usize, seed: u64) -> NetConfig {
     let mut cfg = NetConfig::paper_default(n, seed);
@@ -31,7 +44,8 @@ fn main() {
         "{:<22} {:>11} {:>11} {:>13} {:>13}",
         "policy", "hop succ%", "collisions", "margin mean", "margin worst"
     );
-    let full = Network::run(base(100, 21));
+    let reporter = Reporter::create("abl_power_gain");
+    let full = run_recorded(&reporter, "full scheme".into(), base(100, 21));
     // Isolate power control from the §7.3 rule: compare controlled vs
     // fixed with protection disabled in both. (With protection left on, a
     // fixed-power network freezes solid: every station becomes a protected
@@ -39,13 +53,13 @@ fn main() {
     // job, but uninformative here.)
     let mut cfg_ctl = base(100, 21);
     cfg_ctl.protection.enabled = false;
-    let ctl = Network::run(cfg_ctl);
+    let ctl = run_recorded(&reporter, "controlled no-7.3".into(), cfg_ctl);
     // Fixed power sized to reach the longest usable hop (2/sqrt(rho) =
     // 200 m at the default density): P = target * d^2.
     let mut cfg_off = base(100, 21);
     cfg_off.protection.enabled = false;
     cfg_off.fixed_power = Some(PowerW(1e-6 * 200.0f64 * 200.0));
-    let off = Network::run(cfg_off);
+    let off = run_recorded(&reporter, "fixed no-7.3".into(), cfg_off);
     for (name, m) in [
         ("full scheme", &full),
         ("controlled, no 7.3", &ctl),
@@ -82,7 +96,7 @@ fn main() {
         let mut cfg = base(60, 22);
         cfg.criterion = ReceptionCriterion::with_5db_margin(1e5, 1e5 * spread);
         let th = cfg.sinr_threshold();
-        let m = Network::run(cfg);
+        let m = run_recorded(&reporter, format!("processing-gain db={pg_db}"), cfg);
         println!(
             "{:<12} {:>12.1} {:>10.2}% {:>11} {:>11.1}dB",
             pg_db,

@@ -9,10 +9,16 @@
 //! complexity.
 
 use parn_baseline::{Aloha, BaselineConfig, MacKind, Scenario};
+use parn_bench::report::{timed, Reporter, Run};
 use parn_core::{DestPolicy, NetConfig, Network};
 use parn_sim::Duration;
 
-fn aloha_with_sic(depth: usize, rate: f64, narrowband: bool) -> parn_core::Metrics {
+fn aloha_with_sic(
+    reporter: &Reporter,
+    depth: usize,
+    rate: f64,
+    narrowband: bool,
+) -> parn_core::Metrics {
     let mut c = BaselineConfig::matched(50, 8, MacKind::PureAloha);
     c.arrivals_per_station_per_sec = rate;
     c.sic_depth = depth;
@@ -25,11 +31,22 @@ fn aloha_with_sic(depth: usize, rate: f64, narrowband: bool) -> parn_core::Metri
             margin: 2.0,
         };
     }
-    Aloha::run(Scenario::new(c))
+    parn_sim::obs::reset();
+    let config = c.to_json();
+    let (m, wall_s) = timed(|| Aloha::run(Scenario::new(c)));
+    let band = if narrowband { "narrowband" } else { "spread" };
+    reporter.record(&Run {
+        label: format!("aloha sic_depth={depth} rate={rate} {band}"),
+        config,
+        metrics: m.to_json(),
+        wall_s,
+    });
+    m
 }
 
 fn main() {
     println!("# A6: SIC receivers under contention MACs\n");
+    let reporter = Reporter::create("abl_sic");
 
     println!("## narrowband ALOHA (threshold ~2), 8 pkt/s, 50 stations");
     println!(
@@ -39,7 +56,7 @@ fn main() {
     let mut base = None;
     let mut best_delivered = 0;
     for depth in [0usize, 1, 2, 4] {
-        let m = aloha_with_sic(depth, 8.0, true);
+        let m = aloha_with_sic(&reporter, depth, 8.0, true);
         println!(
             "{:<10} {:>10.2}% {:>11} {:>12}",
             depth,
@@ -68,7 +85,7 @@ fn main() {
         "SIC depth", "hop succ%", "collisions"
     );
     for depth in [0usize, 2] {
-        let m = aloha_with_sic(depth, 40.0, false);
+        let m = aloha_with_sic(&reporter, depth, 40.0, false);
         println!(
             "{:<10} {:>10.2}% {:>11}",
             depth,
@@ -83,7 +100,14 @@ fn main() {
     cfg.traffic.dest = DestPolicy::Neighbors;
     cfg.run_for = Duration::from_secs(10);
     cfg.warmup = Duration::from_secs(2);
-    let scheme = Network::run(cfg);
+    parn_sim::obs::reset();
+    let (scheme, scheme_wall) = timed(|| Network::run(cfg.clone()));
+    reporter.record(&Run {
+        label: "scheme rate=8".into(),
+        config: cfg.to_json(),
+        metrics: scheme.to_json(),
+        wall_s: scheme_wall,
+    });
     println!(
         "\nscheme (no SIC, plain receivers): {} collisions, {:.2}% hop success",
         scheme.collision_losses(),

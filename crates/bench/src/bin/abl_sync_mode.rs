@@ -14,30 +14,45 @@
 //! air-time overhead that shrinks as the hello interval grows; overly
 //! lazy hellos + high drift eventually show up as schedule violations.
 
+use parn_bench::report::{timed, Reporter, Run};
 use parn_core::{NetConfig, Network, SyncMode};
 use parn_sim::Duration;
 
-fn run(sync: SyncMode, max_ppm: f64) -> parn_core::Metrics {
+fn run(reporter: &Reporter, label: &str, sync: SyncMode, max_ppm: f64) -> parn_core::Metrics {
     let mut cfg = NetConfig::paper_default(60, 51);
     cfg.clock.sync = sync;
     cfg.clock.max_ppm = max_ppm;
     cfg.traffic.arrivals_per_station_per_sec = 2.0;
     cfg.run_for = Duration::from_secs(16);
     cfg.warmup = Duration::from_secs(2);
-    Network::run(cfg)
+    parn_sim::obs::reset();
+    let (m, wall_s) = timed(|| Network::run(cfg.clone()));
+    reporter.record(&Run {
+        label: label.to_string(),
+        config: cfg.to_json(),
+        metrics: m.to_json(),
+        wall_s,
+    });
+    m
 }
 
 fn main() {
     println!("# A4: oracle vs piggyback schedule maintenance (60 stations, 100 ppm)\n");
+    let reporter = Reporter::create("abl_sync_mode");
     println!(
         "{:<22} {:>10} {:>9} {:>11} {:>12} {:>11}",
         "mode", "delivered", "hellos", "collisions", "violations", "air s"
     );
     let rows: Vec<(String, parn_core::Metrics)> = vec![
-        ("oracle 5s".into(), run(SyncMode::Oracle, 100.0)),
+        (
+            "oracle 5s".into(),
+            run(&reporter, "oracle 5s", SyncMode::Oracle, 100.0),
+        ),
         (
             "piggyback 1s".into(),
             run(
+                &reporter,
+                "piggyback 1s",
                 SyncMode::Piggyback {
                     hello_interval: Duration::from_secs(1),
                 },
@@ -47,6 +62,8 @@ fn main() {
         (
             "piggyback 3s".into(),
             run(
+                &reporter,
+                "piggyback 3s",
                 SyncMode::Piggyback {
                     hello_interval: Duration::from_secs(3),
                 },
@@ -56,6 +73,8 @@ fn main() {
         (
             "piggyback 8s".into(),
             run(
+                &reporter,
+                "piggyback 8s",
                 SyncMode::Piggyback {
                     hello_interval: Duration::from_secs(8),
                 },

@@ -9,6 +9,7 @@
 //! exactly zero collision losses at every load, trading only delay.
 
 use parn_baseline::{Aloha, BaselineConfig, Csma, MacKind, Maca, Scenario};
+use parn_bench::report::{timed, Reporter, Run};
 use parn_core::{DestPolicy, Metrics, NetConfig, Network};
 use parn_phys::PowerW;
 use parn_sim::Duration;
@@ -17,25 +18,42 @@ const N: usize = 60;
 const SEED: u64 = 3;
 const SECS: u64 = 12;
 
-fn baseline(mac: MacKind, rate: f64) -> Metrics {
+fn baseline(reporter: &Reporter, name: &str, mac: MacKind, rate: f64) -> Metrics {
     let mut c = BaselineConfig::matched(N, SEED, mac);
     c.arrivals_per_station_per_sec = rate;
     c.run_for = Duration::from_secs(SECS);
     c.warmup = Duration::from_secs(2);
-    match c.mac {
-        MacKind::Maca { .. } => Maca::run(Scenario::new(c)),
-        MacKind::Csma { .. } => Csma::run(Scenario::new(c)),
-        _ => Aloha::run(Scenario::new(c)),
-    }
+    parn_sim::obs::reset();
+    let config = c.to_json();
+    let (m, wall_s) = timed(|| match c.mac {
+        MacKind::Maca { .. } => Maca::run(Scenario::new(c.clone())),
+        MacKind::Csma { .. } => Csma::run(Scenario::new(c.clone())),
+        _ => Aloha::run(Scenario::new(c.clone())),
+    });
+    reporter.record(&Run {
+        label: format!("rate={rate} mac={name}"),
+        config,
+        metrics: m.to_json(),
+        wall_s,
+    });
+    m
 }
 
-fn shepard(rate: f64) -> Metrics {
+fn shepard(reporter: &Reporter, rate: f64) -> Metrics {
     let mut cfg = NetConfig::paper_default(N, SEED);
     cfg.traffic.arrivals_per_station_per_sec = rate;
     cfg.traffic.dest = DestPolicy::Neighbors;
     cfg.run_for = Duration::from_secs(SECS);
     cfg.warmup = Duration::from_secs(2);
-    Network::run(cfg)
+    parn_sim::obs::reset();
+    let (m, wall_s) = timed(|| Network::run(cfg.clone()));
+    reporter.record(&Run {
+        label: format!("rate={rate} mac=shepard"),
+        config: cfg.to_json(),
+        metrics: m.to_json(),
+        wall_s,
+    });
+    m
 }
 
 fn main() {
@@ -44,15 +62,21 @@ fn main() {
         "{:<8} {:<14} {:>10} {:>11} {:>11} {:>12} {:>10}",
         "load/s", "MAC", "delivered", "hop succ%", "collisions", "goodput b/s", "delay ms"
     );
+    let reporter = Reporter::create("baseline_compare");
     let mut shepard_collisions_total = 0;
     let mut aloha_collisions_heavy = 0;
     for &rate in &[1.0, 5.0, 15.0, 40.0] {
         let rows: Vec<(&str, Metrics)> = vec![
-            ("shepard", shepard(rate)),
-            ("pure-aloha", baseline(MacKind::PureAloha, rate)),
+            ("shepard", shepard(&reporter, rate)),
+            (
+                "pure-aloha",
+                baseline(&reporter, "pure-aloha", MacKind::PureAloha, rate),
+            ),
             (
                 "slot-aloha",
                 baseline(
+                    &reporter,
+                    "slot-aloha",
                     MacKind::SlottedAloha {
                         slot: Duration::from_micros(2500),
                     },
@@ -62,6 +86,8 @@ fn main() {
             (
                 "csma",
                 baseline(
+                    &reporter,
+                    "csma",
                     MacKind::Csma {
                         sense_threshold: PowerW(1e-8),
                     },
@@ -71,6 +97,8 @@ fn main() {
             (
                 "maca",
                 baseline(
+                    &reporter,
+                    "maca",
                     MacKind::Maca {
                         ctrl_airtime: Duration::from_micros(250),
                     },

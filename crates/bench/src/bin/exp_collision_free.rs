@@ -8,15 +8,23 @@
 //! schedule violations, and a per-hop wait distribution consistent with
 //! the §7.2 Bernoulli model.
 
+use parn_bench::report::{timed, Reporter, Run};
 use parn_core::{LossCause, NetConfig, Network};
 use parn_sim::Duration;
 
-fn run(n: usize, seed: u64, secs: u64, rate: f64) {
+fn run(reporter: &Reporter, n: usize, seed: u64, secs: u64, rate: f64) {
     let mut cfg = NetConfig::paper_default(n, seed);
     cfg.traffic.arrivals_per_station_per_sec = rate;
     cfg.run_for = Duration::from_secs(secs);
     cfg.warmup = Duration::from_secs(2);
-    let m = Network::run(cfg);
+    parn_sim::obs::reset();
+    let (m, wall_s) = timed(|| Network::run(cfg.clone()));
+    reporter.record(&Run {
+        label: format!("n={n} seed={seed} rate={rate}"),
+        config: cfg.to_json(),
+        metrics: m.to_json(),
+        wall_s,
+    });
 
     println!("## n = {n}, seed {seed}, {rate} pkt/s/station, {secs} s");
     println!(
@@ -66,13 +74,14 @@ fn run(n: usize, seed: u64, secs: u64, rate: f64) {
 
 fn main() {
     println!("# E1: collision-free operation (paper Sec. 1/Sec. 7, thesis ch. 5)\n");
+    let reporter = Reporter::create("collision_free");
     // The paper's 100-station scale, three seeds.
     for seed in [1, 2, 3] {
-        run(100, seed, 20, 2.0);
+        run(&reporter, 100, seed, 20, 2.0);
     }
     // Heavier offered load at 100 stations.
-    run(100, 4, 20, 6.0);
+    run(&reporter, 100, 4, 20, 6.0);
     // The paper's 1000-station scale.
-    run(1000, 5, 10, 1.0);
+    run(&reporter, 1000, 5, 10, 1.0);
     println!("E1 reproduced: zero collision losses at every scale. OK");
 }

@@ -8,6 +8,7 @@
 //! scheme remains collision-free throughout, and every lost packet is
 //! attributed to the failure (never silently dropped).
 
+use parn_bench::report::{timed, Reporter, Run};
 use parn_core::{LossCause, NetConfig, Network};
 use parn_sim::Duration;
 
@@ -40,12 +41,28 @@ fn main() {
         .map(|(k, &s)| (Duration::from_secs(6 + 4 * k as u64), s))
         .collect();
 
-    let baseline = Network::run({
+    let reporter = Reporter::create("failures");
+    let base_cfg = {
         let mut c = cfg.clone();
         c.failures.clear();
         c
+    };
+    parn_sim::obs::reset();
+    let (baseline, base_wall) = timed(|| Network::run(base_cfg.clone()));
+    reporter.record(&Run {
+        label: "no-failures".into(),
+        config: base_cfg.to_json(),
+        metrics: baseline.to_json(),
+        wall_s: base_wall,
     });
-    let m = Network::run(cfg);
+    parn_sim::obs::reset();
+    let (m, wall_s) = timed(|| Network::run(cfg.clone()));
+    reporter.record(&Run {
+        label: "4-failures".into(),
+        config: cfg.to_json(),
+        metrics: m.to_json(),
+        wall_s,
+    });
 
     println!("{:<28} {:>12} {:>12}", "", "no failures", "4 failures");
     println!(

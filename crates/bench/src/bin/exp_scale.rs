@@ -20,16 +20,10 @@
 //! measured window; the point is memory and wall-clock scaling plus the
 //! zero-collision invariant, not long-run throughput statistics.
 
+use parn_bench::report::{peak_rss_kb, Reporter, Run};
 use parn_core::{DestPolicy, FarFieldConfig, NetConfig, Network, PhyBackend, RouteMode};
 use parn_sim::Duration;
 use std::time::Instant;
-
-/// Peak resident set size of this process, in kB (Linux `VmHWM`).
-fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
-}
 
 fn backend_from_name(name: &str) -> PhyBackend {
     match name {
@@ -57,10 +51,20 @@ fn scale_config(n: usize, backend: PhyBackend) -> NetConfig {
 
 fn run_one(n: usize, backend_name: &str) {
     let cfg = scale_config(n, backend_from_name(backend_name));
+    parn_sim::obs::reset();
     let start = Instant::now();
-    let m = Network::run(cfg);
+    let m = Network::run(cfg.clone());
     let wall = start.elapsed().as_secs_f64();
     let rss_mb = peak_rss_kb().map_or(f64::NAN, |kb| kb as f64 / 1024.0);
+    // The driver truncated the artifact; each subprocess appends its line
+    // (peak RSS in provenance is then per-configuration, the point of the
+    // subprocess split).
+    Reporter::append("scale").record(&Run {
+        label: format!("n={n} backend={backend_name}"),
+        config: cfg.to_json(),
+        metrics: m.to_json(),
+        wall_s: wall,
+    });
     assert_eq!(
         m.collision_losses(),
         0,
@@ -83,7 +87,9 @@ fn run_one(n: usize, backend_name: &str) {
 
 fn drive(sweep: &[(usize, &str)]) {
     let exe = std::env::current_exe().expect("current_exe");
+    let reporter = Reporter::create("scale"); // truncate; children append
     println!("# E6: wall-clock and peak RSS, dense vs spatial index");
+    println!("# artifact: {}", reporter.path().display());
     println!("# (each line is an independent subprocess; RSS is per-configuration)\n");
     for &(n, backend) in sweep {
         let status = std::process::Command::new(&exe)

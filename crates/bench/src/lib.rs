@@ -3,7 +3,13 @@
 //! The `benches/` targets use the zero-dependency timing [`harness`]
 //! below (the workspace builds hermetically, so no external bench
 //! framework). The `src/bin/` experiments regenerate the paper's
-//! figures and tables.
+//! figures and tables. Both drop machine-readable `BENCH_*.json` run
+//! artifacts at the repo root through [`report::Reporter`]
+//! (schema: `docs/OBSERVABILITY.md`).
+
+#![warn(missing_docs)]
+
+pub mod report;
 
 use std::time::{Duration, Instant};
 
@@ -11,7 +17,9 @@ use std::time::{Duration, Instant};
 ///
 /// Honors the `--test` flag cargo passes under `cargo test` (each bench
 /// then runs a single iteration as a smoke test) and the
-/// `PARN_BENCH_QUICK=1` environment variable.
+/// `PARN_BENCH_QUICK=1` environment variable. Outside quick mode, results
+/// are also written to `BENCH_micro_<target>.json` when the harness is
+/// dropped.
 pub fn harness(target: &str) -> Harness {
     let quick = std::env::args().any(|a| a == "--test")
         || std::env::var("PARN_BENCH_QUICK").is_ok_and(|v| v == "1");
@@ -19,7 +27,13 @@ pub fn harness(target: &str) -> Harness {
     // the first non-flag argument as a substring filter.
     let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
     println!("# bench target: {target}");
-    Harness { quick, filter }
+    Harness {
+        quick,
+        filter,
+        target: target.to_string(),
+        results: Vec::new(),
+        started: Instant::now(),
+    }
 }
 
 /// A minimal benchmark runner: per-benchmark warmup, auto-scaled
@@ -27,6 +41,49 @@ pub fn harness(target: &str) -> Harness {
 pub struct Harness {
     quick: bool,
     filter: Option<String>,
+    target: String,
+    results: Vec<(String, f64, f64, u64)>, // label, min_s, mean_s, iters
+    started: Instant,
+}
+
+impl Drop for Harness {
+    /// Write the collected results as one `BENCH_micro_<target>.json`
+    /// line. Quick mode (smoke runs under `cargo test`) writes nothing —
+    /// single unwarmed iterations are not trajectory data.
+    fn drop(&mut self) {
+        if self.quick || self.results.is_empty() {
+            return;
+        }
+        use parn_sim::json::{obj, Json};
+        let metrics = Json::Obj(
+            self.results
+                .iter()
+                .map(|(label, min_s, mean_s, iters)| {
+                    (
+                        label.clone(),
+                        obj([
+                            ("min_s", (*min_s).into()),
+                            ("mean_s", (*mean_s).into()),
+                            ("iters", (*iters).into()),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let reporter = report::Reporter::create(&format!("micro_{}", self.target));
+        reporter.record(&report::Run {
+            label: self.target.clone(),
+            config: obj([(
+                "filter",
+                self.filter
+                    .as_deref()
+                    .map(|f| Json::Str(f.into()))
+                    .unwrap_or(Json::Null),
+            )]),
+            metrics,
+            wall_s: self.started.elapsed().as_secs_f64(),
+        });
+    }
 }
 
 impl Harness {
@@ -85,6 +142,7 @@ impl Group<'_> {
             fmt_secs(mean),
             samples.len()
         );
+        self.h.results.push((label, min, mean, iters));
     }
 }
 

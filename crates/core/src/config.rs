@@ -255,6 +255,165 @@ impl NetConfig {
         }
     }
 
+    /// Serialize the complete scenario for the provenance manifest in
+    /// `BENCH_*.json` artifacts (schema in `docs/OBSERVABILITY.md`).
+    ///
+    /// Every field that shapes the run is included, so an artifact line is
+    /// enough to reconstruct the configuration exactly (modulo code
+    /// version, which provenance carries as the git SHA).
+    pub fn to_json(&self) -> parn_sim::Json {
+        use parn_sim::json::{obj, Json};
+        let placement = match &self.placement {
+            Placement::UniformDisk { n, radius } => obj([
+                ("kind", "uniform_disk".into()),
+                ("n", (*n).into()),
+                ("radius_m", (*radius).into()),
+            ]),
+            Placement::PoissonDisk { density, radius } => obj([
+                ("kind", "poisson_disk".into()),
+                ("density_per_m2", (*density).into()),
+                ("radius_m", (*radius).into()),
+            ]),
+            Placement::Grid {
+                nx,
+                ny,
+                spacing,
+                jitter,
+            } => obj([
+                ("kind", "grid".into()),
+                ("nx", (*nx).into()),
+                ("ny", (*ny).into()),
+                ("spacing_m", (*spacing).into()),
+                ("jitter_m", (*jitter).into()),
+            ]),
+            Placement::Clustered {
+                clusters,
+                per_cluster,
+                sigma,
+                radius,
+            } => obj([
+                ("kind", "clustered".into()),
+                ("clusters", (*clusters).into()),
+                ("per_cluster", (*per_cluster).into()),
+                ("sigma_m", (*sigma).into()),
+                ("radius_m", (*radius).into()),
+            ]),
+        };
+        let sync = match &self.clock.sync {
+            SyncMode::Oracle => obj([("kind", "oracle".into())]),
+            SyncMode::None => obj([("kind", "none".into())]),
+            SyncMode::Piggyback { hello_interval } => obj([
+                ("kind", "piggyback".into()),
+                ("hello_interval_s", hello_interval.as_secs_f64().into()),
+            ]),
+        };
+        let phy_backend = match &self.phy_backend {
+            PhyBackend::Dense => obj([("kind", "dense".into())]),
+            PhyBackend::Grid { far_field } => obj([
+                ("kind", "grid".into()),
+                (
+                    "far_field",
+                    match far_field {
+                        None => Json::Null,
+                        Some(ff) => obj([
+                            ("near_radius_factor", ff.near_radius_factor.into()),
+                            ("tolerance", ff.tolerance.into()),
+                        ]),
+                    },
+                ),
+            ]),
+        };
+        let route_mode = match self.route_mode {
+            RouteMode::Centralized => "centralized",
+            RouteMode::Distributed => "distributed",
+            RouteMode::OneHop => "one_hop",
+        };
+        let dest = match &self.traffic.dest {
+            DestPolicy::UniformAll => obj([("kind", "uniform_all".into())]),
+            DestPolicy::Neighbors => obj([("kind", "neighbors".into())]),
+            DestPolicy::Flows(flows) => {
+                obj([("kind", "flows".into()), ("count", flows.len().into())])
+            }
+        };
+        obj([
+            ("seed", self.seed.into()),
+            ("placement", placement),
+            (
+                "criterion",
+                obj([
+                    ("rate_bps", self.criterion.rate_bps.into()),
+                    ("bandwidth_hz", self.criterion.bandwidth_hz.into()),
+                    ("margin", self.criterion.margin.into()),
+                ]),
+            ),
+            (
+                "sched",
+                obj([
+                    ("slot_s", self.sched.slot.as_secs_f64().into()),
+                    ("rx_prob", self.sched.rx_prob.into()),
+                    ("salt", self.sched.salt.into()),
+                ]),
+            ),
+            (
+                "clock",
+                obj([
+                    ("max_ppm", self.clock.max_ppm.into()),
+                    (
+                        "resync_interval_s",
+                        self.clock.resync_interval.as_secs_f64().into(),
+                    ),
+                    ("guard_s", self.clock.guard.as_secs_f64().into()),
+                    ("sync", sync),
+                ]),
+            ),
+            ("delivered_power_w", self.delivered_power.value().into()),
+            (
+                "fixed_power_w",
+                match self.fixed_power {
+                    None => Json::Null,
+                    Some(p) => p.value().into(),
+                },
+            ),
+            ("max_power_w", self.max_power.value().into()),
+            ("thermal_noise_w", self.thermal_noise.value().into()),
+            ("external_din_w", self.external_din.value().into()),
+            ("shadowing_sigma_db", self.shadowing_sigma_db.into()),
+            ("self_gain", self.self_gain.into()),
+            ("despreaders", self.despreaders.into()),
+            ("reach_factor", self.reach_factor.into()),
+            (
+                "protection",
+                obj([
+                    ("enabled", self.protection.enabled.into()),
+                    (
+                        "significance_fraction",
+                        self.protection.significance_fraction.into(),
+                    ),
+                ]),
+            ),
+            (
+                "traffic",
+                obj([
+                    (
+                        "arrivals_per_station_per_sec",
+                        self.traffic.arrivals_per_station_per_sec.into(),
+                    ),
+                    ("dest", dest),
+                ]),
+            ),
+            ("mac_horizon_slots", self.mac_horizon_slots.into()),
+            ("max_retries", u64::from(self.max_retries).into()),
+            ("packet_divisor", self.packet_divisor.into()),
+            ("max_outstanding_plans", self.max_outstanding_plans.into()),
+            ("phy_backend", phy_backend),
+            ("route_mode", route_mode.into()),
+            ("failures", self.failures.len().into()),
+            ("heal_delay_s", self.heal_delay.as_secs_f64().into()),
+            ("run_for_s", self.run_for.as_secs_f64().into()),
+            ("warmup_s", self.warmup.as_secs_f64().into()),
+        ])
+    }
+
     /// Air time of one fixed-size packet (slot / divisor).
     pub fn packet_airtime(&self) -> Duration {
         self.sched.slot / self.packet_divisor

@@ -115,6 +115,7 @@ pub struct Network {
 impl Network {
     /// Build a network from a configuration. Deterministic in `cfg.seed`.
     pub fn new(cfg: NetConfig) -> Network {
+        parn_sim::time_scope!("core.build");
         let root = Rng::new(cfg.seed);
         let mut rng_place = root.substream("placement");
         let mut rng_clock = root.substream("clocks");
@@ -354,7 +355,10 @@ impl Network {
         let mut queue = EventQueue::new();
         net.prime(&mut queue);
         let end = net.end;
-        parn_sim::run(&mut net, &mut queue, end);
+        {
+            parn_sim::time_scope!("core.run");
+            parn_sim::run(&mut net, &mut queue, end);
+        }
         net.finish()
     }
 
@@ -555,10 +559,17 @@ impl Network {
                     },
                 );
                 queue.schedule(start, Event::TxStart { station: s });
-                self.tracer
-                    .emit(now, parn_sim::trace::Level::Debug, "mac", || {
-                        format!("station {s} planned pkt {pid} -> {nh} at {start}")
-                    });
+                parn_sim::trace_event!(
+                    self.tracer,
+                    now,
+                    parn_sim::trace::Level::Debug,
+                    parn_sim::trace::TraceEvent::MacPlanned {
+                        station: s,
+                        packet: pid,
+                        next_hop: nh,
+                        start,
+                    }
+                );
                 true
             }
             None => {
@@ -665,17 +676,17 @@ impl Network {
         if measured && !is_hello {
             self.metrics.hop_attempts += 1;
         }
-        if self.tracer.wants(parn_sim::trace::Level::Info) {
-            let ok = report.as_ref().map(|r| r.success).unwrap_or(false);
-            let pid = packet.id;
-            self.tracer
-                .emit(now, parn_sim::trace::Level::Info, "phy", || {
-                    format!(
-                        "pkt {pid} {s} -> {nh}: {}",
-                        if ok { "received" } else { "failed" }
-                    )
-                });
-        }
+        parn_sim::trace_event!(
+            self.tracer,
+            now,
+            parn_sim::trace::Level::Info,
+            parn_sim::trace::TraceEvent::HopOutcome {
+                src: s,
+                dst: nh,
+                packet: packet.id,
+                success: report.as_ref().map(|r| r.success).unwrap_or(false),
+            }
+        );
         match report {
             Some(rep) if rep.success && self.alive[nh] => {
                 // Every successful reception carries the sender's clock
@@ -922,6 +933,12 @@ impl Network {
             return;
         }
         self.alive[s] = false;
+        parn_sim::trace_event!(
+            self.tracer,
+            now,
+            parn_sim::trace::Level::Warn,
+            parn_sim::trace::TraceEvent::StationFailed { station: s }
+        );
         let st = &mut self.stations[s];
         let mut lost: Vec<Packet> = Vec::new();
         for (_, q) in std::mem::take(&mut st.queues) {
@@ -1242,13 +1259,15 @@ mod tests {
         let phy_events = net.tracer().by_category("phy").len();
         assert!(mac_events > 10, "no MAC events traced ({mac_events})");
         assert!(phy_events > 10, "no PHY events traced ({phy_events})");
-        // Every PHY record mentions an outcome.
+        // Every PHY record is a typed hop outcome between valid stations.
+        let n = net.alive.len();
         for r in net.tracer().by_category("phy") {
-            assert!(
-                r.message.contains("received") || r.message.contains("failed"),
-                "odd phy record: {}",
-                r.message
-            );
+            match r.event {
+                parn_sim::trace::TraceEvent::HopOutcome { src, dst, .. } => {
+                    assert!(src < n && dst < n, "odd phy record: {}", r.event);
+                }
+                ref other => panic!("odd phy record: {other:?}"),
+            }
         }
     }
 

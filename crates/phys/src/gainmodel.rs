@@ -173,8 +173,10 @@ impl GainModel for GridGainModel {
         let slot = (mix64(key) as usize) & (CACHE_SLOTS - 1);
         let mut cache = self.cache.lock().unwrap();
         if cache[slot].0 == key {
+            parn_sim::counter_inc!("phys.gain_cache.hit");
             return Gain(cache[slot].1);
         }
+        parn_sim::counter_inc!("phys.gain_cache.miss");
         let v = self.compute_gain(rx, tx);
         cache[slot] = (key, v);
         Gain(v)

@@ -182,7 +182,8 @@ impl SinrTracker {
 
     /// Enable far-field aggregation: interference from transmitters
     /// beyond `near_radius` of a receiver is summed per grid cell instead
-    /// of per station (see [`FarField`] for the error bound). Intended
+    /// of per station (see the `FarField` internals for the error
+    /// bound). Intended
     /// for metro-scale runs where walking every concurrent transmission
     /// per receiver is the bottleneck.
     ///
@@ -326,10 +327,12 @@ impl SinrTracker {
             if let Some(s) = cache.get(&rx) {
                 let churn = (far.total_drift - s.drift_at) * far.g_near;
                 if churn <= far.tolerance * (s.value + self.thermal.value()) {
+                    parn_sim::counter_inc!("phys.far_cache.hit");
                     return s.value;
                 }
             }
         }
+        parn_sim::counter_inc!("phys.far_cache.recompute");
         let v = self.recompute_far(rx);
         far.cache.borrow_mut().insert(
             rx,
@@ -638,6 +641,7 @@ impl SinrTracker {
 
     /// Update min_sinr and failure state; snapshot blame on first failure.
     fn reevaluate(&mut self, rid: u64) {
+        parn_sim::counter_inc!("phys.sinr.reevaluations");
         let sic_sinr = if self.sic_depth > 0 {
             let r = self.receptions.get(&rid).expect("unknown reception");
             Some(self.sinr_with_sic(r))

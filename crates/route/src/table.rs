@@ -116,6 +116,7 @@ impl RouteTable {
     /// Next hop from `src` toward `dst` (None when `src == dst` or
     /// unreachable).
     pub fn next_hop(&self, src: StationId, dst: StationId) -> Option<StationId> {
+        parn_sim::counter_inc!("route.next_hop.lookups");
         match &self.repr {
             Repr::Dense { next_hop, .. } => next_hop[src * self.n + dst],
             Repr::OneHop { adj } => {

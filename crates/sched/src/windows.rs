@@ -170,6 +170,7 @@ impl StationSchedule {
     /// Maximal merged windows of `kind` overlapping `[from, to)`, clipped
     /// to that range, in global time.
     pub fn windows(&self, from: Time, to: Time, kind: SlotKind) -> Vec<Window> {
+        parn_sim::counter_inc!("sched.window_scans.actual");
         windows_from_local_view(
             &self.params,
             from,
@@ -198,6 +199,7 @@ impl<'a> PredictedSchedule<'a> {
     /// Predicted windows of `kind` at the neighbour, in global time,
     /// shrunk by the guard band.
     pub fn windows(&self, from: Time, to: Time, kind: SlotKind) -> Vec<Window> {
+        parn_sim::counter_inc!("sched.window_scans.predicted");
         let raw = windows_from_local_view(
             &self.params,
             from,

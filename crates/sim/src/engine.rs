@@ -34,17 +34,17 @@ pub struct RunSummary {
 /// the queue (so a model can be resumed).
 pub fn run<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>, horizon: Time) -> RunSummary {
     let mut processed = 0u64;
-    loop {
+    let summary = loop {
         match queue.peek_time() {
             None => {
-                return RunSummary {
+                break RunSummary {
                     events_processed: processed,
                     final_time: queue.now(),
                     drained: true,
                 }
             }
             Some(t) if t > horizon => {
-                return RunSummary {
+                break RunSummary {
                     events_processed: processed,
                     final_time: queue.now(),
                     drained: false,
@@ -56,7 +56,11 @@ pub fn run<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>, horizon: T
                 processed += 1;
             }
         }
-    }
+    };
+    // One registry update per run() call, not per event: the hot loop above
+    // stays untouched by observability.
+    crate::counter_inc!("sim.events_processed", processed);
+    summary
 }
 
 #[cfg(test)]

@@ -10,7 +10,12 @@
 //! * [`rng`] — a self-contained, seedable xoshiro256** generator with named
 //!   substreams so every run is bit-reproducible;
 //! * [`stats`] — tallies, histograms and time-weighted averages;
-//! * [`trace`] — a bounded in-memory trace.
+//! * [`trace`] — a bounded in-memory trace of typed events (see
+//!   [`trace_event!`]);
+//! * [`obs`] — a process-wide counter/timer registry for hot-path
+//!   observability (see [`counter_inc!`] and [`time_scope!`]);
+//! * [`json`] — a dependency-free JSON value/writer/parser used by the
+//!   run-artifact layer (`BENCH_*.json`, see `docs/OBSERVABILITY.md`).
 //!
 //! Design note: the simulator is intentionally *synchronous and
 //! single-threaded*. A discrete-event radio simulation is CPU-bound and
@@ -21,6 +26,8 @@
 
 pub mod engine;
 pub mod events;
+pub mod json;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -28,5 +35,7 @@ pub mod trace;
 
 pub use engine::{run, Model, RunSummary};
 pub use events::EventQueue;
+pub use json::Json;
 pub use rng::Rng;
 pub use time::{Duration, Time};
+pub use trace::{Level, TraceEvent, Tracer};

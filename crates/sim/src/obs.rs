@@ -1,0 +1,283 @@
+//! Process-wide counter and timer registry for hot-path observability.
+//!
+//! Hot paths (SINR re-evaluations, grid gain-cache probes, schedule-window
+//! scans, route lookups) live in crates that have no channel for threading a
+//! metrics handle through, so the registry is a global: counters are named
+//! `&'static` atomics registered on first use and leaked for the life of the
+//! process. The design budget is "cheap enough to leave on":
+//!
+//! * [`counter_inc!`](crate::counter_inc) caches its registered handle in a per-call-site
+//!   `OnceLock`, so the steady-state cost is one relaxed atomic add — about a
+//!   nanosecond, and free of contention in the single-threaded simulator.
+//! * [`time_scope!`](crate::time_scope) adds one `Instant::now()` on entry and one on drop; use
+//!   it around phases (build, run, route recompute), not per-event work.
+//! * Counters never affect simulation behaviour — they are strictly
+//!   write-only from the simulator's perspective, so determinism is
+//!   preserved.
+//!
+//! Snapshots ([`counters_snapshot`], [`timers_snapshot`]) return sorted
+//! `(name, value)` pairs for the artifact writer. [`reset`] zeroes all
+//! registered slots (the names stay registered), which experiment drivers
+//! call between configs so each artifact line reports per-run deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// A registered timer: total nanoseconds and number of completed scopes.
+#[derive(Debug)]
+pub struct TimerSlot {
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl TimerSlot {
+    const fn new() -> TimerSlot {
+        TimerSlot {
+            total_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Start a scope; elapsed time is accumulated when the guard drops.
+    pub fn start(&'static self) -> TimerGuard {
+        TimerGuard {
+            slot: self,
+            started: Instant::now(),
+        }
+    }
+
+    /// Total accumulated nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed scopes.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Drop guard returned by [`TimerSlot::start`].
+#[must_use = "the scope is timed until this guard drops"]
+pub struct TimerGuard {
+    slot: &'static TimerSlot,
+    started: Instant,
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        let ns = self.started.elapsed().as_nanos() as u64;
+        self.slot.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.slot.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Registry {
+    counters: Mutex<Vec<(&'static str, &'static AtomicU64)>>,
+    timers: Mutex<Vec<(&'static str, &'static TimerSlot)>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        timers: Mutex::new(Vec::new()),
+    })
+}
+
+/// Look up or register the counter named `name`.
+///
+/// The returned atomic lives for the whole process; callers should cache it
+/// (as [`counter_inc!`](crate::counter_inc) does) rather than re-resolving by name on a hot path.
+pub fn counter(name: &'static str) -> &'static AtomicU64 {
+    let mut counters = registry().counters.lock().unwrap();
+    if let Some((_, c)) = counters.iter().find(|(n, _)| *n == name) {
+        return c;
+    }
+    let slot: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    counters.push((name, slot));
+    slot
+}
+
+/// Look up or register the timer named `name`.
+pub fn timer(name: &'static str) -> &'static TimerSlot {
+    let mut timers = registry().timers.lock().unwrap();
+    if let Some((_, t)) = timers.iter().find(|(n, _)| *n == name) {
+        return t;
+    }
+    let slot: &'static TimerSlot = Box::leak(Box::new(TimerSlot::new()));
+    timers.push((name, slot));
+    slot
+}
+
+/// Snapshot all counters as `(name, value)`, sorted by name.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    let counters = registry().counters.lock().unwrap();
+    let mut out: Vec<_> = counters
+        .iter()
+        .map(|(n, c)| (*n, c.load(Ordering::Relaxed)))
+        .collect();
+    out.sort_unstable_by_key(|(n, _)| *n);
+    out
+}
+
+/// Snapshot all timers as `(name, total_ns, count)`, sorted by name.
+pub fn timers_snapshot() -> Vec<(&'static str, u64, u64)> {
+    let timers = registry().timers.lock().unwrap();
+    let mut out: Vec<_> = timers
+        .iter()
+        .map(|(n, t)| (*n, t.total_ns(), t.count()))
+        .collect();
+    out.sort_unstable_by_key(|(n, _, _)| *n);
+    out
+}
+
+/// Zero every registered counter and timer (names stay registered).
+///
+/// Experiment drivers call this between configurations so each artifact line
+/// carries per-run values rather than process-lifetime accumulations.
+pub fn reset() {
+    let counters = registry().counters.lock().unwrap();
+    for (_, c) in counters.iter() {
+        c.store(0, Ordering::Relaxed);
+    }
+    drop(counters);
+    let timers = registry().timers.lock().unwrap();
+    for (_, t) in timers.iter() {
+        t.total_ns.store(0, Ordering::Relaxed);
+        t.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Increment a named counter by 1 (or by an explicit amount).
+///
+/// The counter handle is resolved once per call site and cached in a local
+/// `OnceLock`; after the first hit the cost is a single relaxed atomic add.
+///
+/// ```
+/// parn_sim::counter_inc!("doc.example.hits");
+/// parn_sim::counter_inc!("doc.example.bytes", 128);
+/// let snap = parn_sim::obs::counters_snapshot();
+/// assert!(snap.iter().any(|&(n, v)| n == "doc.example.hits" && v >= 1));
+/// ```
+#[macro_export]
+macro_rules! counter_inc {
+    ($name:literal) => {
+        $crate::counter_inc!($name, 1)
+    };
+    ($name:literal, $amount:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static ::std::sync::atomic::AtomicU64> =
+            ::std::sync::OnceLock::new();
+        SLOT.get_or_init(|| $crate::obs::counter($name))
+            .fetch_add($amount as u64, ::std::sync::atomic::Ordering::Relaxed);
+    }};
+}
+
+/// Time the rest of the enclosing scope under a named timer.
+///
+/// Expands to a guard bound to a hidden local; elapsed wall time is added to
+/// the timer when the scope exits (including on early return / panic).
+///
+/// ```
+/// fn build() {
+///     parn_sim::time_scope!("doc.example.build");
+///     // ... work ...
+/// }
+/// build();
+/// let snap = parn_sim::obs::timers_snapshot();
+/// assert!(snap.iter().any(|&(n, _, c)| n == "doc.example.build" && c >= 1));
+/// ```
+#[macro_export]
+macro_rules! time_scope {
+    ($name:literal) => {
+        let _obs_timer_guard = {
+            static SLOT: ::std::sync::OnceLock<&'static $crate::obs::TimerSlot> =
+                ::std::sync::OnceLock::new();
+            SLOT.get_or_init(|| $crate::obs::timer($name)).start()
+        };
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: the registry is process-global and `cargo test` runs tests in
+    // parallel, so every test uses counter/timer names unique to itself and
+    // never calls `reset()` (which would race with other tests' counters).
+
+    #[test]
+    fn counter_registers_once_and_accumulates() {
+        let a = counter("test.obs.alpha");
+        let b = counter("test.obs.alpha");
+        assert!(std::ptr::eq(a, b));
+        a.fetch_add(2, Ordering::Relaxed);
+        b.fetch_add(3, Ordering::Relaxed);
+        let snap = counters_snapshot();
+        let v = snap.iter().find(|(n, _)| *n == "test.obs.alpha").unwrap().1;
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn counter_inc_macro_caches_handle() {
+        for _ in 0..10 {
+            counter_inc!("test.obs.macro_hits");
+        }
+        counter_inc!("test.obs.macro_hits", 5);
+        let snap = counters_snapshot();
+        let v = snap
+            .iter()
+            .find(|(n, _)| *n == "test.obs.macro_hits")
+            .unwrap()
+            .1;
+        assert_eq!(v, 15);
+    }
+
+    #[test]
+    fn timer_accumulates_scopes() {
+        let t = timer("test.obs.timer");
+        {
+            let _g = t.start();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _g = t.start();
+        }
+        assert_eq!(t.count(), 2);
+        assert!(t.total_ns() >= 2_000_000);
+        let snap = timers_snapshot();
+        let (_, total, count) = *snap
+            .iter()
+            .find(|(n, _, _)| *n == "test.obs.timer")
+            .unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(total, t.total_ns());
+    }
+
+    #[test]
+    fn time_scope_macro_times_enclosing_scope() {
+        fn work() {
+            time_scope!("test.obs.scope");
+        }
+        work();
+        work();
+        let snap = timers_snapshot();
+        let (_, _, count) = *snap
+            .iter()
+            .find(|(n, _, _)| *n == "test.obs.scope")
+            .unwrap();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        counter("test.obs.zz");
+        counter("test.obs.aa");
+        let snap = counters_snapshot();
+        let names: Vec<_> = snap.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

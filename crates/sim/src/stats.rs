@@ -80,6 +80,20 @@ impl Tally {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// Summary as a JSON object (`count`/`mean`/`std_dev`/`min`/`max`).
+    ///
+    /// An empty tally's infinite extrema serialize as `null` (JSON has no
+    /// infinities).
+    pub fn to_json(&self) -> crate::json::Json {
+        crate::json::obj([
+            ("count", self.count().into()),
+            ("mean", self.mean().into()),
+            ("std_dev", self.std_dev().into()),
+            ("min", self.min().into()),
+            ("max", self.max().into()),
+        ])
+    }
 }
 
 /// Fixed-width-bin histogram that also retains samples for exact quantiles.
@@ -167,6 +181,21 @@ impl Histogram {
         } else {
             Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
         }
+    }
+
+    /// Summary as a JSON object (`count`/`mean`/`p50`/`p90`/`p99`/`max`);
+    /// statistics of an empty histogram serialize as `null`.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        crate::json::obj([
+            ("count", self.count().into()),
+            ("mean", opt(self.mean())),
+            ("p50", opt(self.quantile(0.5))),
+            ("p90", opt(self.quantile(0.9))),
+            ("p99", opt(self.quantile(0.99))),
+            ("max", opt(self.quantile(1.0))),
+        ])
     }
 }
 

@@ -1,11 +1,19 @@
-//! Lightweight event tracing.
+//! Typed, bounded event tracing.
 //!
-//! A bounded in-memory trace of `(time, category, message)` records. Traces
-//! are cheap to keep off (a disabled tracer does no formatting) and useful
-//! both in tests (assert that an event sequence occurred) and when debugging
-//! protocol behaviour.
+//! A trace is a ring of [`Record`]s, each holding a structured
+//! [`TraceEvent`] rather than a pre-rendered string: a disabled tracer (or a
+//! filtered level) costs one branch — no formatting, no allocation — which
+//! the `trace_zero_cost` integration test verifies with a counting
+//! allocator. Events render to text only on demand (`Display`), e.g. when
+//! the CLI echoes them or a test inspects them.
+//!
+//! Use the [`crate::trace_event!`] macro at emission sites: it checks
+//! [`Tracer::wants`] *before* evaluating the event expression, so arguments
+//! that are expensive to compute (or that allocate, like [`TraceEvent::Note`]
+//! messages) are never touched on the disabled path.
 
 use crate::time::Time;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Severity/kind of a trace record.
@@ -19,17 +27,100 @@ pub enum Level {
     Warn,
 }
 
-/// One trace record.
+/// A structured trace event.
+///
+/// The variants cover the protocol milestones the simulator emits today;
+/// [`TraceEvent::Note`] is the escape hatch for one-off annotations. Each
+/// variant maps to a stable category string (see [`TraceEvent::category`])
+/// used for filtering in tests and tooling.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The MAC committed a packet to a future transmit window.
+    MacPlanned {
+        /// Transmitting station.
+        station: usize,
+        /// Packet id.
+        packet: u64,
+        /// Chosen next hop.
+        next_hop: usize,
+        /// Scheduled transmission start.
+        start: Time,
+    },
+    /// A transmission attempt completed at the PHY.
+    HopOutcome {
+        /// Transmitting station.
+        src: usize,
+        /// Intended receiver.
+        dst: usize,
+        /// Packet id.
+        packet: u64,
+        /// Whether the receiver captured the packet.
+        success: bool,
+    },
+    /// A station went permanently silent (injected failure).
+    StationFailed {
+        /// The failed station.
+        station: usize,
+    },
+    /// Free-form annotation under a caller-chosen category.
+    Note {
+        /// Category tag (e.g. `"route"`).
+        category: &'static str,
+        /// Rendered message.
+        message: String,
+    },
+}
+
+impl TraceEvent {
+    /// Stable category tag for filtering (`"mac"`, `"phy"`, `"fail"`, or the
+    /// note's own category).
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEvent::MacPlanned { .. } => "mac",
+            TraceEvent::HopOutcome { .. } => "phy",
+            TraceEvent::StationFailed { .. } => "fail",
+            TraceEvent::Note { category, .. } => category,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::MacPlanned {
+                station,
+                packet,
+                next_hop,
+                start,
+            } => write!(
+                f,
+                "station {station} planned pkt {packet} -> {next_hop} at {start}"
+            ),
+            TraceEvent::HopOutcome {
+                src,
+                dst,
+                packet,
+                success,
+            } => write!(
+                f,
+                "pkt {packet} {src} -> {dst}: {}",
+                if *success { "received" } else { "failed" }
+            ),
+            TraceEvent::StationFailed { station } => write!(f, "station {station} failed"),
+            TraceEvent::Note { message, .. } => f.write_str(message),
+        }
+    }
+}
+
+/// One trace record: a timestamped, levelled [`TraceEvent`].
 #[derive(Clone, Debug)]
 pub struct Record {
     /// Simulated time of the event.
     pub time: Time,
     /// Record severity.
     pub level: Level,
-    /// Static category tag (e.g. `"mac"`, `"phy"`).
-    pub category: &'static str,
-    /// Rendered message.
-    pub message: String,
+    /// The structured event.
+    pub event: TraceEvent,
 }
 
 impl fmt::Display for Record {
@@ -37,7 +128,10 @@ impl fmt::Display for Record {
         write!(
             f,
             "[{} {:?} {}] {}",
-            self.time, self.level, self.category, self.message
+            self.time,
+            self.level,
+            self.event.category(),
+            self.event
         )
     }
 }
@@ -47,7 +141,7 @@ pub struct Tracer {
     enabled: bool,
     min_level: Level,
     capacity: usize,
-    records: Vec<Record>,
+    records: VecDeque<Record>,
     dropped: u64,
     echo: bool,
 }
@@ -65,7 +159,7 @@ impl Tracer {
             enabled: false,
             min_level: Level::Warn,
             capacity: 0,
-            records: Vec::new(),
+            records: VecDeque::new(),
             dropped: 0,
             echo: false,
         }
@@ -77,7 +171,7 @@ impl Tracer {
             enabled: true,
             min_level,
             capacity,
-            records: Vec::new(),
+            records: VecDeque::new(),
             dropped: 0,
             echo: false,
         }
@@ -89,15 +183,41 @@ impl Tracer {
         self
     }
 
-    /// Whether records at `level` would be kept — callers can use this to
-    /// skip building expensive messages.
+    /// Whether records at `level` would be kept — [`crate::trace_event!`]
+    /// checks this before building the event, so a disabled tracer pays one
+    /// branch and nothing else.
     #[inline]
     pub fn wants(&self, level: Level) -> bool {
         self.enabled && level >= self.min_level
     }
 
-    /// Record an event. `message` is only invoked when the record is kept.
-    pub fn emit<F: FnOnce() -> String>(
+    /// Store a pre-built event.
+    ///
+    /// Prefer [`crate::trace_event!`], which skips event construction when
+    /// the record would be filtered; calling `record` directly still filters
+    /// correctly but has already paid for the event.
+    pub fn record(&mut self, time: Time, level: Level, event: TraceEvent) {
+        if !self.wants(level) {
+            return;
+        }
+        let rec = Record { time, level, event };
+        if self.echo {
+            println!("{rec}");
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    /// Record a [`TraceEvent::Note`]; the message closure is only invoked
+    /// when the record is kept.
+    pub fn note<F: FnOnce() -> String>(
         &mut self,
         time: Time,
         level: Level,
@@ -107,87 +227,146 @@ impl Tracer {
         if !self.wants(level) {
             return;
         }
-        let rec = Record {
+        self.record(
             time,
             level,
-            category,
-            message: message(),
-        };
-        if self.echo {
-            println!("{rec}");
-        }
-        if self.records.len() >= self.capacity {
-            // Ring behaviour: drop the oldest.
-            if !self.records.is_empty() {
-                self.records.remove(0);
-            }
-            self.dropped += 1;
-        }
-        if self.capacity > 0 {
-            self.records.push(rec);
-        } else {
-            self.dropped += 1;
-        }
+            TraceEvent::Note {
+                category,
+                message: message(),
+            },
+        );
     }
 
     /// All retained records, oldest first.
-    pub fn records(&self) -> &[Record] {
+    pub fn records(&self) -> &VecDeque<Record> {
         &self.records
     }
 
-    /// Records filtered by category.
+    /// Retained records filtered by category.
     pub fn by_category(&self, category: &str) -> Vec<&Record> {
         self.records
             .iter()
-            .filter(|r| r.category == category)
+            .filter(|r| r.event.category() == category)
             .collect()
     }
 
-    /// Number of records dropped due to capacity.
+    /// Number of records dropped due to capacity (or a zero-capacity sink).
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+}
+
+/// Trace a [`TraceEvent`] if the tracer wants `level`.
+///
+/// The event expression is evaluated **only** when the record will be kept,
+/// so emission sites can build events (including allocating `Note` messages)
+/// with zero cost on the disabled path:
+///
+/// ```
+/// use parn_sim::trace::{Level, TraceEvent, Tracer};
+/// use parn_sim::{trace_event, Time};
+///
+/// let mut t = Tracer::new(8, Level::Info);
+/// trace_event!(t, Time(5), Level::Info, TraceEvent::HopOutcome {
+///     src: 0, dst: 1, packet: 42, success: true,
+/// });
+/// assert_eq!(t.records().len(), 1);
+///
+/// let mut off = Tracer::disabled();
+/// trace_event!(off, Time(5), Level::Warn, TraceEvent::Note {
+///     category: "x",
+///     message: "never built".to_string(), // not evaluated
+/// });
+/// assert!(off.records().is_empty());
+/// ```
+#[macro_export]
+macro_rules! trace_event {
+    ($tracer:expr, $time:expr, $level:expr, $event:expr) => {
+        if $tracer.wants($level) {
+            $tracer.record($time, $level, $event);
+        }
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn note(i: u64) -> TraceEvent {
+        TraceEvent::Note {
+            category: "c",
+            message: format!("m{i}"),
+        }
+    }
+
     #[test]
     fn disabled_stores_nothing() {
         let mut t = Tracer::disabled();
-        t.emit(Time(1), Level::Warn, "x", || "boom".into());
+        t.record(
+            Time(1),
+            Level::Warn,
+            TraceEvent::StationFailed { station: 3 },
+        );
         assert!(t.records().is_empty());
         assert!(!t.wants(Level::Warn));
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
     fn level_filtering() {
         let mut t = Tracer::new(10, Level::Info);
-        t.emit(Time(1), Level::Debug, "a", || "d".into());
-        t.emit(Time(2), Level::Info, "a", || "i".into());
-        t.emit(Time(3), Level::Warn, "b", || "w".into());
+        t.record(Time(1), Level::Debug, note(0));
+        t.record(
+            Time(2),
+            Level::Info,
+            TraceEvent::MacPlanned {
+                station: 1,
+                packet: 7,
+                next_hop: 2,
+                start: Time(10),
+            },
+        );
+        t.record(
+            Time(3),
+            Level::Warn,
+            TraceEvent::StationFailed { station: 9 },
+        );
         assert_eq!(t.records().len(), 2);
-        assert_eq!(t.records()[0].message, "i");
-        assert_eq!(t.by_category("b").len(), 1);
+        assert_eq!(t.records()[0].event.category(), "mac");
+        assert_eq!(t.by_category("fail").len(), 1);
+        assert!(t.by_category("c").is_empty());
     }
 
     #[test]
-    fn ring_buffer_drops_oldest() {
+    fn ring_never_exceeds_capacity_and_drops_oldest() {
         let mut t = Tracer::new(3, Level::Debug);
-        for i in 0..5 {
-            t.emit(Time(i), Level::Info, "c", || format!("m{i}"));
+        for i in 0..100 {
+            t.record(Time(i), Level::Info, note(i));
+            assert!(t.records().len() <= 3, "ring exceeded capacity");
         }
         assert_eq!(t.records().len(), 3);
-        assert_eq!(t.records()[0].message, "m2");
-        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.records()[0].event.to_string(), "m97");
+        assert_eq!(t.records()[2].event.to_string(), "m99");
+        assert_eq!(t.dropped(), 97);
     }
 
     #[test]
-    fn lazy_message_not_built_when_filtered() {
+    fn macro_skips_event_construction_when_filtered() {
         let mut t = Tracer::new(10, Level::Warn);
+        let mut built = false;
+        trace_event!(t, Time(1), Level::Debug, {
+            built = true;
+            note(0)
+        });
+        assert!(!built);
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn note_closure_is_lazy() {
+        let mut t = Tracer::disabled();
         let mut called = false;
-        t.emit(Time(1), Level::Debug, "c", || {
+        t.note(Time(1), Level::Warn, "c", || {
             called = true;
             String::new()
         });
@@ -195,13 +374,37 @@ mod tests {
     }
 
     #[test]
-    fn display_format() {
+    fn display_formats() {
         let r = Record {
             time: Time::from_secs(1),
             level: Level::Info,
-            category: "mac",
-            message: "hello".into(),
+            event: TraceEvent::Note {
+                category: "mac",
+                message: "hello".into(),
+            },
         };
         assert_eq!(format!("{r}"), "[1.000000s Info mac] hello");
+        let e = TraceEvent::HopOutcome {
+            src: 2,
+            dst: 5,
+            packet: 11,
+            success: false,
+        };
+        assert_eq!(e.to_string(), "pkt 11 2 -> 5: failed");
+        let e = TraceEvent::MacPlanned {
+            station: 1,
+            packet: 7,
+            next_hop: 2,
+            start: Time::from_secs(2),
+        };
+        assert_eq!(e.to_string(), "station 1 planned pkt 7 -> 2 at 2.000000s");
+    }
+
+    #[test]
+    fn zero_capacity_counts_drops() {
+        let mut t = Tracer::new(0, Level::Debug);
+        t.record(Time(1), Level::Info, note(1));
+        assert!(t.records().is_empty());
+        assert_eq!(t.dropped(), 1);
     }
 }

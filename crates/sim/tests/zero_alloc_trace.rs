@@ -1,0 +1,127 @@
+//! Regression test: the observability layer must be free when it is off.
+//!
+//! A counting global allocator wraps the system allocator; the test then
+//! drives the disabled-tracer path and the warmed-up counter/timer macros
+//! and asserts that *zero* heap allocations happen. This pins down the
+//! two guarantees the hot paths rely on:
+//!
+//! * `trace_event!` must not evaluate (and therefore not format or
+//!   allocate) its event expression when the tracer filters the level;
+//! * `counter_inc!` / `time_scope!` after their one-time registration
+//!   cost exactly one relaxed atomic op, never an allocation.
+//!
+//! All assertions live in a single `#[test]` so no parallel test can
+//! perturb the allocation counter mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use parn_sim::trace::{Level, TraceEvent, Tracer};
+use parn_sim::{counter_inc, time_scope, trace_event, Time};
+
+struct CountingAlloc;
+
+// Per-thread count: the libtest harness thread allocates at its own
+// rhythm, so a process-global counter would be flaky. Const-initialized
+// TLS so the counter itself never allocates; `try_with` so the allocator
+// stays safe during thread teardown.
+thread_local! {
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    TL_ALLOCS.try_with(|c| c.get()).unwrap_or(0)
+}
+
+#[test]
+fn disabled_observability_is_allocation_free() {
+    // -- disabled tracer: the event expression must never run -----------
+    let mut tracer = Tracer::disabled();
+    let mut evaluated = 0u32;
+
+    let before = alloc_count();
+    for i in 0..10_000u64 {
+        trace_event!(tracer, Time::ZERO, Level::Debug, {
+            // Were this expression evaluated, it would both bump the
+            // side-effect counter and heap-allocate a formatted String.
+            evaluated += 1;
+            TraceEvent::Note {
+                category: "hot",
+                message: format!("expensive formatting of step {i}"),
+            }
+        });
+    }
+    let after = alloc_count();
+    assert_eq!(evaluated, 0, "filtered trace_event! evaluated its event");
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracer allocated on the hot path"
+    );
+    assert!(tracer.records().is_empty());
+
+    // Same guarantee for an enabled-but-filtering tracer: Warn threshold
+    // drops Debug events without constructing them.
+    let mut warn_tracer = Tracer::new(8, Level::Warn);
+    let before = alloc_count();
+    for _ in 0..10_000u64 {
+        trace_event!(warn_tracer, Time::ZERO, Level::Debug, {
+            evaluated += 1;
+            TraceEvent::StationFailed { station: 0 }
+        });
+    }
+    let after = alloc_count();
+    assert_eq!(evaluated, 0, "level-filtered event was still constructed");
+    assert_eq!(after - before, 0, "level filtering allocated");
+
+    // Lazy notes: the closure must not run when filtered.
+    let before = alloc_count();
+    for _ in 0..10_000u64 {
+        warn_tracer.note(Time::ZERO, Level::Debug, "hot", || {
+            format!("never built {}", alloc_count())
+        });
+    }
+    let after = alloc_count();
+    assert_eq!(after - before, 0, "filtered note() allocated");
+
+    // -- counters and timers: steady state is one atomic op -------------
+    // First use pays a one-time registration (Box::leak + registry push);
+    // warm both macros up, then measure the steady state.
+    counter_inc!("test.zero_alloc.counter");
+    {
+        time_scope!("test.zero_alloc.timer");
+    }
+
+    let before = alloc_count();
+    for _ in 0..10_000u64 {
+        counter_inc!("test.zero_alloc.counter");
+    }
+    let after = alloc_count();
+    assert_eq!(after - before, 0, "warm counter_inc! allocated");
+
+    let before = alloc_count();
+    for _ in 0..10_000u64 {
+        time_scope!("test.zero_alloc.timer");
+    }
+    let after = alloc_count();
+    assert_eq!(after - before, 0, "warm time_scope! allocated");
+}

@@ -26,6 +26,8 @@
 //! println!("{}", metrics.summary());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod testkit;
 
 pub use parn_baseline as baseline;
