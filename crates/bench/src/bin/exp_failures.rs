@@ -1,19 +1,51 @@
-//! E4 — self-organization under station failures.
+//! E4 — self-organization under station churn.
 //!
 //! The paper's motivation is an *anarchic* network: stations "purchased
 //! and installed by the users", no infrastructure, no coordination. Such
-//! a network must keep working when stations disappear. This harness
-//! kills a cascade of stations (including the busiest relays) mid-run and
-//! shows: routing heals over the survivors, traffic keeps flowing, the
-//! scheme remains collision-free throughout, and every lost packet is
-//! attributed to the failure (never silently dropped).
+//! a network must keep working when stations disappear — and, harder,
+//! when they come *back* with a cold clock, or when a jammer lights up a
+//! neighbourhood. This harness drives both heal modes through the same
+//! seeded churn plan (the four busiest relays crash and recover,
+//! staggered, plus one jammer window) and a crash-count sweep, and
+//! shows: routing heals over the survivors, the scheme stays
+//! collision-free outside the jammer window, local detection converges
+//! close to the oracle, and every lost packet carries a cause.
 
 use parn_bench::report::{timed, Reporter, Run};
-use parn_core::{LossCause, NetConfig, Network};
+use parn_core::{FaultPlan, HealConfig, LossCause, Metrics, NetConfig, Network};
+use parn_phys::PowerW;
 use parn_sim::Duration;
 
+fn run_with(
+    reporter: &Reporter,
+    cfg: &NetConfig,
+    heal: HealConfig,
+    plan: FaultPlan,
+    label: &str,
+) -> Metrics {
+    let mut c = cfg.clone();
+    c.heal = heal;
+    c.faults = plan;
+    parn_sim::obs::reset();
+    let (m, wall_s) = timed(|| Network::run(c.clone()));
+    reporter.record(&Run {
+        label: label.into(),
+        config: c.to_json(),
+        metrics: m.to_json(),
+        wall_s,
+    });
+    assert!(m.conservation_holds(), "{label}: {}", m.summary());
+    assert_eq!(
+        m.collision_losses(),
+        0,
+        "{label} broke collision-freedom: {}",
+        m.summary()
+    );
+    m
+}
+
 fn main() {
-    println!("# E4: station failures and route healing\n");
+    println!("# E4: station churn, jamming, and route healing\n");
 
     let n = 100;
     let mut cfg = NetConfig::paper_default(n, 13);
@@ -21,103 +53,176 @@ fn main() {
     cfg.run_for = Duration::from_secs(24);
     cfg.warmup = Duration::from_secs(2);
 
-    // Identify the four busiest relays up front (most routing dependents).
+    let reporter = Reporter::create("failures");
+
+    // One build serves both the dependents query and the fault-free
+    // baseline run: rank relays, then run the same Network to completion.
+    parn_sim::obs::reset();
     let probe = Network::new(cfg.clone());
-    let mut dependents: Vec<(usize, usize)> = (0..n)
-        .map(|s| {
-            let d = (0..n)
-                .filter(|&o| o != s)
-                .filter(|&o| probe.routes().routing_neighbors(o).contains(&s))
-                .count();
-            (d, s)
-        })
+    let mut dependents: Vec<(usize, usize)> = probe
+        .routing_dependent_counts()
+        .into_iter()
+        .enumerate()
+        .map(|(s, d)| (d, s))
         .collect();
     dependents.sort_by(|a, b| b.cmp(a));
-    let victims: Vec<usize> = dependents.iter().take(4).map(|&(_, s)| s).collect();
-    println!("killing busiest relays {victims:?} at t = 6, 10, 14, 18 s\n");
-    cfg.failures = victims
-        .iter()
-        .enumerate()
-        .map(|(k, &s)| (Duration::from_secs(6 + 4 * k as u64), s))
-        .collect();
-
-    let reporter = Reporter::create("failures");
-    let base_cfg = {
-        let mut c = cfg.clone();
-        c.failures.clear();
-        c
-    };
-    parn_sim::obs::reset();
-    let (baseline, base_wall) = timed(|| Network::run(base_cfg.clone()));
+    let victims: Vec<usize> = dependents.iter().take(8).map(|&(_, s)| s).collect();
+    let (baseline, base_wall) = timed(|| probe.run_built());
     reporter.record(&Run {
-        label: "no-failures".into(),
-        config: base_cfg.to_json(),
+        label: "baseline".into(),
+        config: cfg.to_json(),
         metrics: baseline.to_json(),
         wall_s: base_wall,
     });
-    parn_sim::obs::reset();
-    let (m, wall_s) = timed(|| Network::run(cfg.clone()));
-    reporter.record(&Run {
-        label: "4-failures".into(),
-        config: cfg.to_json(),
-        metrics: m.to_json(),
-        wall_s,
-    });
+    assert_eq!(baseline.collision_losses(), 0);
+    println!(
+        "busiest relays (by routing dependents): {:?}\n",
+        &victims[..4]
+    );
 
-    println!("{:<28} {:>12} {:>12}", "", "no failures", "4 failures");
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "generated", baseline.generated, m.generated
-    );
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "delivered", baseline.delivered, m.delivered
-    );
-    println!(
-        "{:<28} {:>11.1}% {:>11.1}%",
-        "delivery rate",
-        100.0 * baseline.delivery_rate(),
-        100.0 * m.delivery_rate()
-    );
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "collision losses",
-        baseline.collision_losses(),
-        m.collision_losses()
-    );
-    for (label, cause) in [
-        ("lost to station failure", LossCause::StationFailed),
-        ("lost unroutable", LossCause::Unroutable),
-    ] {
-        println!(
-            "{:<28} {:>12} {:>12}",
-            label,
-            baseline.losses.get(&cause).copied().unwrap_or(0),
-            m.losses.get(&cause).copied().unwrap_or(0)
+    // The churn plan: the four busiest relays crash at t = 6/10/14/18 s
+    // and each recovers 4 s later, plus a 1.5 s jammer window on top of
+    // the busiest relay's neighbourhood mid-run.
+    let mut churn = FaultPlan::none();
+    for (k, &s) in victims.iter().take(4).enumerate() {
+        churn = churn.crash_recover(
+            Duration::from_secs(6 + 4 * k as u64),
+            s,
+            Duration::from_secs(4),
         );
     }
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "retransmissions", baseline.retransmissions, m.retransmissions
+    churn = churn.jam(
+        Duration::from_secs(12),
+        victims[0],
+        Duration::from_secs_f64(1.5),
+        PowerW(0.01),
     );
 
-    // Acceptance.
-    assert_eq!(m.collision_losses(), 0, "failures broke collision-freedom");
-    assert_eq!(baseline.collision_losses(), 0);
-    assert!(
-        m.delivered as f64 > 0.75 * baseline.delivered as f64,
-        "healing failed: {} vs {}",
-        m.delivered,
-        baseline.delivered
+    let oracle = run_with(
+        &reporter,
+        &cfg,
+        HealConfig::oracle(),
+        churn.clone(),
+        "churn-oracle",
     );
-    let failure_losses = m
-        .losses
-        .get(&LossCause::StationFailed)
-        .copied()
-        .unwrap_or(0)
-        + m.losses.get(&LossCause::Unroutable).copied().unwrap_or(0);
-    assert!(failure_losses > 0, "failures should cost *something*");
-    // Ledger balances: generated = delivered + in flight + settled drops.
-    assert!(m.delivered + m.in_flight_at_end <= m.generated);
-    println!("\nE4: network heals around failures, losses fully accounted. OK");
+    let local = run_with(&reporter, &cfg, HealConfig::local(), churn, "churn-local");
+
+    println!(
+        "{:<26} {:>10} {:>12} {:>12}",
+        "", "baseline", "churn-oracle", "churn-local"
+    );
+    let row = |label: &str, f: &dyn Fn(&Metrics) -> String| {
+        println!(
+            "{:<26} {:>10} {:>12} {:>12}",
+            label,
+            f(&baseline),
+            f(&oracle),
+            f(&local)
+        );
+    };
+    row("generated", &|m| m.generated.to_string());
+    row("delivered", &|m| m.delivered.to_string());
+    row("delivery rate", &|m| {
+        format!("{:.1}%", 100.0 * m.delivery_rate())
+    });
+    row("collision losses", &|m| m.collision_losses().to_string());
+    for (label, cause) in [
+        ("lost: station failed", LossCause::StationFailed),
+        ("lost: jammed", LossCause::Jammed),
+        ("drop: station failed", LossCause::StationFailed),
+        ("drop: unroutable", LossCause::Unroutable),
+        ("drop: retries exhausted", LossCause::RetriesExhausted),
+    ] {
+        let book = |m: &Metrics| {
+            if label.starts_with("lost") {
+                m.losses.get(&cause).copied().unwrap_or(0)
+            } else {
+                m.drops.get(&cause).copied().unwrap_or(0)
+            }
+        };
+        row(label, &|m| book(m).to_string());
+    }
+    row("retransmissions", &|m| m.retransmissions.to_string());
+    row("route repairs", &|m| m.route_repairs.to_string());
+    row("faults injected", &|m| m.faults_injected.to_string());
+    row("stations recovered", &|m| m.stations_recovered.to_string());
+    row("neighbors evicted", &|m| m.neighbors_evicted.to_string());
+    row("neighbors readmitted", &|m| {
+        m.neighbors_readmitted.to_string()
+    });
+    row("time-to-detect ms", &|m| {
+        if m.time_to_detect.count() == 0 {
+            "-".into()
+        } else {
+            format!("{:.0}", m.time_to_detect.mean() * 1e3)
+        }
+    });
+    row("time-to-heal ms", &|m| {
+        if m.time_to_heal.count() == 0 {
+            "-".into()
+        } else {
+            format!("{:.0}", m.time_to_heal.mean() * 1e3)
+        }
+    });
+
+    // Acceptance: the local detector must come within 10 points of the
+    // oracle's delivery rate under the same churn.
+    let gap = 100.0 * (oracle.delivery_rate() - local.delivery_rate());
+    println!("\noracle-vs-local delivery gap: {gap:.1} points");
+    assert!(
+        gap < 10.0,
+        "local healing too far behind oracle: {gap:.1} points"
+    );
+    assert!(oracle.time_to_heal.count() > 0, "oracle sampled no heals");
+    assert!(
+        local.time_to_detect.count() > 0,
+        "local detector never fired"
+    );
+    assert!(local.time_to_heal.count() > 0, "local sampled no heals");
+    assert!(local.neighbors_evicted > 0 && local.neighbors_readmitted > 0);
+    assert!(
+        oracle.losses.get(&LossCause::Jammed).copied().unwrap_or(0) > 0,
+        "jammer window cost nothing"
+    );
+
+    // Crash-count sweep: permanent failures, both heal modes.
+    println!("\ncrash sweep (permanent failures, delivery rate):");
+    println!("{:>4} {:>10} {:>10}", "k", "oracle", "local");
+    for k in [2usize, 4, 8] {
+        let plan = FaultPlan::crashes(
+            victims
+                .iter()
+                .take(k)
+                .enumerate()
+                .map(|(i, &s)| (Duration::from_secs(6 + (12 * i as u64) / k as u64), s)),
+        );
+        let mo = run_with(
+            &reporter,
+            &cfg,
+            HealConfig::oracle(),
+            plan.clone(),
+            &format!("crash-{k}-oracle"),
+        );
+        let ml = run_with(
+            &reporter,
+            &cfg,
+            HealConfig::local(),
+            plan,
+            &format!("crash-{k}-local"),
+        );
+        println!(
+            "{:>4} {:>9.1}% {:>9.1}%",
+            k,
+            100.0 * mo.delivery_rate(),
+            100.0 * ml.delivery_rate()
+        );
+        assert!(
+            ml.delivered as f64 > 0.6 * baseline.delivered as f64,
+            "k={k} local healing collapsed: {} vs {}",
+            ml.delivered,
+            baseline.delivered
+        );
+    }
+
+    println!("\nE4: network heals around churn in both modes, losses fully accounted. OK");
 }

@@ -67,7 +67,11 @@ pub fn classify(report: &ReceptionReport) -> (CollisionKinds, LossCause) {
 /// *significant* interferers) and the [`LossCause`] of the primary
 /// (largest-contribution) one. A failure with no individually-significant
 /// interferer — whether there were no interferers at all, or only an
-/// aggregate of weak ones — is a link-budget (`Din`) loss.
+/// aggregate of weak ones — is a link-budget (`Din`) loss. A significant
+/// *jammer* interferer overrides the protocol taxonomy entirely: the loss
+/// is [`LossCause::Jammed`] (deliberate interference is not a collision
+/// the scheme could have scheduled around), and jammers never contribute
+/// to the reported [`CollisionKinds`].
 pub fn classify_with(
     report: &ReceptionReport,
     significance_fraction: f64,
@@ -76,9 +80,14 @@ pub fn classify_with(
     let floor = significance_fraction * report.interference_at_failure.value();
     let mut kinds = CollisionKinds::default();
     let mut primary: Option<&Blame> = None;
+    let mut jammed = false;
     for b in &report.blame {
         if b.contribution.value() < floor {
             continue; // part of the din, not a collision
+        }
+        if b.jammer {
+            jammed = true;
+            continue; // adversarial interference, outside the §5 taxonomy
         }
         let k = kind_of(b, report.rx);
         kinds.type1 |= k.type1;
@@ -90,6 +99,9 @@ pub fn classify_with(
         {
             primary = Some(b);
         }
+    }
+    if jammed {
+        return (kinds, LossCause::Jammed);
     }
     let Some(primary) = primary else {
         return (CollisionKinds::default(), LossCause::Din);
@@ -126,6 +138,16 @@ mod tests {
             station,
             intended_rx: intended,
             contribution: PowerW(p),
+            jammer: false,
+        }
+    }
+
+    fn jammer(station: StationId, p: f64) -> Blame {
+        Blame {
+            station,
+            intended_rx: None,
+            contribution: PowerW(p),
+            jammer: true,
         }
     }
 
@@ -209,6 +231,34 @@ mod tests {
         r.interference_at_failure = PowerW(1.0);
         assert_eq!(classify_with(&r, 0.25).1, LossCause::Din);
         assert_eq!(classify_with(&r, 0.05).1, LossCause::CollisionType1);
+    }
+
+    #[test]
+    fn significant_jammer_is_jammed_not_collision() {
+        let r = report(5, vec![jammer(2, 1.0)]);
+        let (k, cause) = classify(&r);
+        assert_eq!(k, CollisionKinds::default());
+        assert_eq!(cause, LossCause::Jammed);
+    }
+
+    #[test]
+    fn jammer_overrides_concurrent_protocol_interferers() {
+        // A significant jammer plus a significant Type 2: the loss would
+        // not have happened absent the jammer's contribution budget, so
+        // it is attributed to jamming; the protocol kinds are still
+        // reported for diagnostics.
+        let r = report(5, vec![jammer(2, 10.0), blame(7, Some(5), 8.0)]);
+        let (k, cause) = classify(&r);
+        assert!(k.type2);
+        assert_eq!(cause, LossCause::Jammed);
+    }
+
+    #[test]
+    fn insignificant_jammer_is_just_din() {
+        let mut r = report(5, vec![jammer(2, 0.1)]);
+        r.interference_at_failure = PowerW(1.0);
+        let (_, cause) = classify(&r);
+        assert_eq!(cause, LossCause::Din);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! (§6–§7): free-space loss, ~20 dB processing gain, 5 dB margin,
 //! `p = 0.3`, quarter-slot packets, minimum-energy routing.
 
+use crate::faults::{FaultPlan, HealConfig};
 use parn_phys::placement::Placement;
 use parn_phys::{PowerW, ReceptionCriterion};
 use parn_sched::SchedParams;
@@ -194,12 +195,13 @@ pub struct NetConfig {
     pub phy_backend: PhyBackend,
     /// Routing-table construction mode.
     pub route_mode: RouteMode,
-    /// Injected station failures: at each offset from the start, the
-    /// given station goes permanently silent. Routing heals `heal_delay`
-    /// later (standing in for distributed Bellman–Ford reconvergence).
-    pub failures: Vec<(Duration, usize)>,
-    /// Delay between a failure and the network-wide route repair.
-    pub heal_delay: Duration,
+    /// Injected faults: a deterministic script of crashes,
+    /// crash-recoveries, clock jumps, and jammer windows (see
+    /// [`crate::faults`]). Empty by default.
+    pub faults: FaultPlan,
+    /// How the network heals around the injected faults: oracle route
+    /// rebuilds on a timer, or local per-neighbor detection and repair.
+    pub heal: HealConfig,
     /// Simulated run length.
     pub run_for: Duration,
     /// Initial portion excluded from steady-state statistics.
@@ -248,8 +250,8 @@ impl NetConfig {
             max_outstanding_plans: 8,
             phy_backend: PhyBackend::Dense,
             route_mode: RouteMode::Centralized,
-            failures: Vec::new(),
-            heal_delay: Duration::from_millis(500),
+            faults: FaultPlan::none(),
+            heal: HealConfig::oracle(),
             run_for: Duration::from_secs(20),
             warmup: Duration::from_secs(2),
         }
@@ -407,8 +409,8 @@ impl NetConfig {
             ("max_outstanding_plans", self.max_outstanding_plans.into()),
             ("phy_backend", phy_backend),
             ("route_mode", route_mode.into()),
-            ("failures", self.failures.len().into()),
-            ("heal_delay_s", self.heal_delay.as_secs_f64().into()),
+            ("faults", self.faults.to_json()),
+            ("heal", self.heal.to_json()),
             ("run_for_s", self.run_for.as_secs_f64().into()),
             ("warmup_s", self.warmup.as_secs_f64().into()),
         ])
@@ -463,5 +465,22 @@ mod tests {
     fn delivered_power_dominates_thermal() {
         let c = NetConfig::paper_default(100, 1);
         assert!(c.delivered_power.value() > 1e4 * c.thermal_noise.value());
+    }
+
+    #[test]
+    fn to_json_embeds_the_full_fault_plan() {
+        // Regression: `failures` used to serialize as a bare count, making
+        // artifacts irreproducible from their own provenance.
+        let mut c = NetConfig::paper_default(10, 1);
+        c.faults = FaultPlan::none()
+            .crash(Duration::from_secs(4), 3)
+            .crash_recover(Duration::from_secs(5), 7, Duration::from_secs(2));
+        let s = c.to_json().to_string();
+        assert!(s.contains("\"kind\":\"crash\""), "{s}");
+        assert!(s.contains("\"kind\":\"crash_recover\""), "{s}");
+        assert!(s.contains("\"down_for_s\""), "{s}");
+        assert!(s.contains("\"station\":7"), "{s}");
+        assert!(s.contains("\"heal\""), "{s}");
+        assert!(s.contains("\"oracle\""), "{s}");
     }
 }

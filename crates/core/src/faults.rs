@@ -1,0 +1,415 @@
+//! Fault injection and healing policy.
+//!
+//! Shepard's target network is *anarchic* — stations bought and installed
+//! by users, with no operator to keep them alive — so the simulator must
+//! model stations dying, rebooting with amnesia, glitching clocks, and
+//! being jammed. A [`FaultPlan`] is a deterministic, fully serializable
+//! script of such events; [`HealConfig`] selects how the network routes
+//! around them: an omniscient [`HealMode::Oracle`] (the pre-fault-aware
+//! behavior, kept for comparison) or protocol-level [`HealMode::Local`]
+//! detection (consecutive hop failures → suspicion → eviction → local
+//! route repair → re-admission when the neighbor is heard again).
+//!
+//! Plans are data, not RNG draws inside the simulator: the same plan
+//! produces the same injections on every PHY backend, and
+//! `NetConfig::to_json` embeds the whole plan so a `BENCH_*.json`
+//! artifact is reproducible from its own provenance.
+
+use parn_phys::PowerW;
+use parn_sim::json::{obj, Json};
+use parn_sim::{Duration, Rng};
+
+/// What kind of fault strikes a station.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Permanent crash-stop: the station goes dark and never returns.
+    Crash,
+    /// Crash followed by a reboot `down_for` later. The station rejoins
+    /// with a *fresh* clock and schedule (reboot loses all volatile
+    /// state), so neighbors must re-learn it.
+    CrashRecover {
+        /// How long the station stays dark before rebooting.
+        down_for: Duration,
+    },
+    /// An instantaneous discontinuity in the station's local clock
+    /// (`ticks` may be negative). The station rebuilds its own schedule
+    /// and re-anchors its clock models; its *neighbors'* models of it go
+    /// stale — that staleness is the injected fault.
+    ClockJump {
+        /// Signed jump applied to the station's clock offset, in ticks.
+        ticks: i64,
+    },
+    /// A jammer anchored at the station's position radiates `power` for
+    /// `for_`, injected into the SINR tracker as an extra transmitter.
+    /// Losses it causes classify as [`crate::LossCause::Jammed`], not as
+    /// protocol collisions.
+    Jam {
+        /// Jammer window length.
+        for_: Duration,
+        /// Jammer radiated power.
+        power: PowerW,
+    },
+}
+
+impl FaultKind {
+    /// Short machine-readable tag (used in traces and JSON).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::CrashRecover { .. } => "crash_recover",
+            FaultKind::ClockJump { .. } => "clock_jump",
+            FaultKind::Jam { .. } => "jam",
+        }
+    }
+}
+
+/// One scheduled fault: `kind` strikes `station` at `at` (simulation
+/// time, relative to the start of the run).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: Duration,
+    /// The afflicted station (for [`FaultKind::Jam`], the anchor
+    /// position of the jammer).
+    pub station: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic script of fault injections.
+///
+/// Build one explicitly with the chainable constructors, from legacy
+/// `(time, station)` crash pairs via [`FaultPlan::crashes`], or
+/// pseudo-randomly (but reproducibly) via [`FaultPlan::generate`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults, in authored order (the simulator's event
+    /// queue orders them by time with deterministic FIFO tie-breaking).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults — the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Append an arbitrary fault event.
+    pub fn with(mut self, at: Duration, station: usize, kind: FaultKind) -> FaultPlan {
+        self.events.push(FaultEvent { at, station, kind });
+        self
+    }
+
+    /// Append a permanent crash-stop.
+    pub fn crash(self, at: Duration, station: usize) -> FaultPlan {
+        self.with(at, station, FaultKind::Crash)
+    }
+
+    /// Append a crash that reboots `down_for` later.
+    pub fn crash_recover(self, at: Duration, station: usize, down_for: Duration) -> FaultPlan {
+        self.with(at, station, FaultKind::CrashRecover { down_for })
+    }
+
+    /// Append a clock discontinuity.
+    pub fn clock_jump(self, at: Duration, station: usize, ticks: i64) -> FaultPlan {
+        self.with(at, station, FaultKind::ClockJump { ticks })
+    }
+
+    /// Append a jammer window anchored at `station`.
+    pub fn jam(self, at: Duration, station: usize, for_: Duration, power: PowerW) -> FaultPlan {
+        self.with(at, station, FaultKind::Jam { for_, power })
+    }
+
+    /// Plan of permanent crashes from `(time, station)` pairs — the shape
+    /// of the old `NetConfig::failures` field.
+    pub fn crashes(pairs: impl IntoIterator<Item = (Duration, usize)>) -> FaultPlan {
+        FaultPlan {
+            events: pairs
+                .into_iter()
+                .map(|(at, station)| FaultEvent {
+                    at,
+                    station,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        }
+    }
+
+    /// Generate a reproducible pseudo-random plan of `count` faults over
+    /// `n` stations within `(0, horizon)`.
+    ///
+    /// Mix: ~½ crash-recover (down 2–25 % of the horizon), ~¼ permanent
+    /// crashes, ~⅛ clock jumps (±½ slot … ±50 slots at the default
+    /// 100 ns tick), ~⅛ jammer windows (1–10 % of the horizon, 1–10 mW).
+    /// Deterministic in `(seed, n, count, horizon)` and independent of
+    /// every other RNG stream in the simulator.
+    pub fn generate(seed: u64, n: usize, count: usize, horizon: Duration) -> FaultPlan {
+        let mut rng = Rng::new(seed).substream("faultplan");
+        let mut plan = FaultPlan::none();
+        let h = horizon.as_secs_f64();
+        for _ in 0..count {
+            let at = Duration::from_secs_f64(rng.range_f64(0.05, 0.95) * h);
+            let station = rng.below(n as u64) as usize;
+            let kind = match rng.below(8) {
+                0..=3 => FaultKind::CrashRecover {
+                    down_for: Duration::from_secs_f64(rng.range_f64(0.02, 0.25) * h),
+                },
+                4 | 5 => FaultKind::Crash,
+                6 => FaultKind::ClockJump {
+                    // ±(½ … 50) slots at the paper's 10 ms slot / 100 ns tick.
+                    ticks: {
+                        let mag = rng.range_f64(5e4, 5e6);
+                        if rng.below(2) == 0 {
+                            mag as i64
+                        } else {
+                            -(mag as i64)
+                        }
+                    },
+                },
+                _ => FaultKind::Jam {
+                    for_: Duration::from_secs_f64(rng.range_f64(0.01, 0.10) * h),
+                    power: PowerW(rng.range_f64(1e-3, 1e-2)),
+                },
+            };
+            plan = plan.with(at, station, kind);
+        }
+        plan
+    }
+
+    /// Check the plan against a network of `n` stations: every station
+    /// index in range, every duration positive.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.station >= n {
+                return Err(format!(
+                    "fault #{i}: station {} out of range (n = {n})",
+                    ev.station
+                ));
+            }
+            match ev.kind {
+                FaultKind::CrashRecover { down_for } if down_for == Duration::ZERO => {
+                    return Err(format!("fault #{i}: zero down interval"));
+                }
+                FaultKind::Jam { for_, power } => {
+                    if for_ == Duration::ZERO {
+                        return Err(format!("fault #{i}: zero jam window"));
+                    }
+                    if power.0 <= 0.0 || power.0.is_nan() {
+                        return Err(format!("fault #{i}: non-positive jam power"));
+                    }
+                }
+                FaultKind::ClockJump { ticks: 0 } => {
+                    return Err(format!("fault #{i}: zero clock jump"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Full plan as JSON (array of event objects) — embedded into
+    /// `NetConfig::to_json` so artifacts carry their exact fault script.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.events
+                .iter()
+                .map(|ev| {
+                    let mut fields: Vec<(String, Json)> = vec![
+                        ("at_s".into(), Json::from(ev.at.as_secs_f64())),
+                        ("station".into(), Json::from(ev.station as u64)),
+                        ("kind".into(), Json::from(ev.kind.tag())),
+                    ];
+                    match ev.kind {
+                        FaultKind::Crash => {}
+                        FaultKind::CrashRecover { down_for } => {
+                            fields.push(("down_for_s".into(), down_for.as_secs_f64().into()));
+                        }
+                        FaultKind::ClockJump { ticks } => {
+                            fields.push(("ticks".into(), Json::Int(ticks)));
+                        }
+                        FaultKind::Jam { for_, power } => {
+                            fields.push(("for_s".into(), for_.as_secs_f64().into()));
+                            fields.push(("power_w".into(), power.0.into()));
+                        }
+                    }
+                    Json::Obj(fields)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// How the network heals around faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealMode {
+    /// Omniscient healing: a global route rebuild fires a fixed delay
+    /// after each crash or recovery, standing in for an idealized
+    /// distributed Bellman–Ford reconvergence. Failed hops retry
+    /// immediately. This is the pre-existing behavior, kept as the
+    /// comparison upper bound.
+    Oracle,
+    /// Protocol-level healing: each station tracks per-neighbor liveness
+    /// from its own hop outcomes (implicit acks), suspects a neighbor
+    /// after consecutive failures, evicts it after a timeout, repairs
+    /// routes around evicted stations, backs off retransmissions with
+    /// capped randomized delays, and re-admits a neighbor the moment it
+    /// is heard again.
+    Local,
+}
+
+/// Healing policy and its tunables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealConfig {
+    /// Detection/repair mode.
+    pub mode: HealMode,
+    /// [`HealMode::Oracle`]: delay between a crash (or recovery) and the
+    /// global route rebuild.
+    pub oracle_delay: Duration,
+    /// [`HealMode::Local`]: consecutive failed hop attempts to a
+    /// neighbor before it becomes *suspected*.
+    pub suspect_after: u32,
+    /// [`HealMode::Local`]: a suspected neighbor that keeps failing for
+    /// this long is *evicted* from the routing view.
+    pub evict_timeout: Duration,
+    /// [`HealMode::Local`]: base delay of the capped binary-exponential
+    /// retransmission backoff.
+    pub backoff_base: Duration,
+    /// [`HealMode::Local`]: backoff cap.
+    pub backoff_cap: Duration,
+}
+
+impl HealConfig {
+    /// Oracle healing with the paper-era 500 ms reconvergence stand-in.
+    pub fn oracle() -> HealConfig {
+        HealConfig {
+            mode: HealMode::Oracle,
+            oracle_delay: Duration::from_millis(500),
+            suspect_after: 3,
+            evict_timeout: Duration::from_millis(150),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(160),
+        }
+    }
+
+    /// Local (protocol-level) healing with default timings: suspect
+    /// after 3 consecutive failures, evict 150 ms later, back off
+    /// 10 ms·2ᵏ capped at 160 ms with ±50 % jitter.
+    pub fn local() -> HealConfig {
+        HealConfig {
+            mode: HealMode::Local,
+            ..HealConfig::oracle()
+        }
+    }
+
+    /// Provenance JSON for `NetConfig::to_json`.
+    pub fn to_json(&self) -> Json {
+        obj([
+            (
+                "mode",
+                match self.mode {
+                    HealMode::Oracle => "oracle",
+                    HealMode::Local => "local",
+                }
+                .into(),
+            ),
+            ("oracle_delay_s", self.oracle_delay.as_secs_f64().into()),
+            ("suspect_after", u64::from(self.suspect_after).into()),
+            ("evict_timeout_s", self.evict_timeout.as_secs_f64().into()),
+            ("backoff_base_s", self.backoff_base.as_secs_f64().into()),
+            ("backoff_cap_s", self.backoff_cap.as_secs_f64().into()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let p = FaultPlan::none()
+            .crash(Duration::from_secs(1), 3)
+            .crash_recover(Duration::from_secs(2), 4, Duration::from_secs(1))
+            .clock_jump(Duration::from_secs(3), 5, -100)
+            .jam(
+                Duration::from_secs(4),
+                6,
+                Duration::from_millis(500),
+                PowerW(0.01),
+            );
+        assert_eq!(p.len(), 4);
+        assert!(p.validate(10).is_ok());
+        assert!(p.validate(5).is_err()); // stations 5 and 6 out of range
+    }
+
+    #[test]
+    fn crashes_matches_legacy_shape() {
+        let p = FaultPlan::crashes([(Duration::from_secs(4), 3), (Duration::from_secs(4), 11)]);
+        assert_eq!(p.len(), 2);
+        assert!(p
+            .events
+            .iter()
+            .all(|ev| matches!(ev.kind, FaultKind::Crash)));
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_valid() {
+        let a = FaultPlan::generate(7, 40, 12, Duration::from_secs(10));
+        let b = FaultPlan::generate(7, 40, 12, Duration::from_secs(10));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert!(a.validate(40).is_ok());
+        let c = FaultPlan::generate(8, 40, 12, Duration::from_secs(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_events() {
+        let zero_down = FaultPlan::none().crash_recover(Duration::from_secs(1), 0, Duration::ZERO);
+        assert!(zero_down.validate(4).is_err());
+        let zero_jump = FaultPlan::none().clock_jump(Duration::from_secs(1), 0, 0);
+        assert!(zero_jump.validate(4).is_err());
+        let dud_jam = FaultPlan::none().jam(
+            Duration::from_secs(1),
+            0,
+            Duration::from_secs(1),
+            PowerW(0.0),
+        );
+        assert!(dud_jam.validate(4).is_err());
+    }
+
+    #[test]
+    fn plan_json_carries_every_field() {
+        let p = FaultPlan::none()
+            .crash_recover(Duration::from_secs(2), 4, Duration::from_secs(1))
+            .jam(
+                Duration::from_secs(4),
+                6,
+                Duration::from_millis(500),
+                PowerW(0.01),
+            );
+        let s = p.to_json().to_string();
+        assert!(s.contains("crash_recover"), "{s}");
+        assert!(s.contains("down_for_s"), "{s}");
+        assert!(s.contains("power_w"), "{s}");
+    }
+
+    #[test]
+    fn heal_config_json_names_mode() {
+        assert!(HealConfig::oracle()
+            .to_json()
+            .to_string()
+            .contains("oracle"));
+        assert!(HealConfig::local().to_json().to_string().contains("local"));
+    }
+}

@@ -3,6 +3,8 @@
 //! runnable simulation and library.
 //!
 //! * [`config`] — scenario description with paper-flavoured defaults;
+//! * [`faults`] — deterministic fault plans (crash / crash-recover /
+//!   clock jump / jammer) and the healing policy (oracle vs local);
 //! * [`packet`] — packets and loss causes;
 //! * [`power`] — §6.1 power control (deliver constant power);
 //! * [`collision`] — the §5 collision taxonomy over PHY failure reports;
@@ -24,6 +26,7 @@
 
 pub mod collision;
 pub mod config;
+pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod packet;
@@ -35,6 +38,7 @@ pub use config::{
     ClockConfig, DestPolicy, FarFieldConfig, NeighborProtection, NetConfig, PhyBackend, RouteMode,
     SyncMode, TrafficConfig,
 };
+pub use faults::{FaultEvent, FaultKind, FaultPlan, HealConfig, HealMode};
 pub use metrics::Metrics;
 pub use network::{Event, Network};
 pub use packet::{LossCause, Packet, PacketKind};

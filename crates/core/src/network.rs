@@ -13,6 +13,7 @@
 
 use crate::collision::classify;
 use crate::config::{DestPolicy, NetConfig, PhyBackend, RouteMode, SyncMode};
+use crate::faults::{FaultKind, FaultPlan, HealMode};
 use crate::metrics::{Metrics, WarmupGate};
 use crate::packet::{LossCause, Packet, PacketKind};
 use crate::power::PowerPolicy;
@@ -60,6 +61,12 @@ pub enum Event {
         packet: Packet,
         /// The addressed neighbour.
         next_hop: StationId,
+        /// Sender's boot epoch at transmission start (a reboot in flight
+        /// invalidates the sender's claim to the packet).
+        tx_epoch: u64,
+        /// Receiver's boot epoch at transmission start (a reboot in
+        /// flight invalidates the reception).
+        rx_epoch: u64,
     },
     /// Periodic network-wide clock-sample exchange between neighbours.
     Resync,
@@ -69,13 +76,35 @@ pub enum Event {
         /// The beaconing station.
         station: StationId,
     },
-    /// An injected station failure: the station goes permanently silent.
-    StationFail {
-        /// The failing station.
+    /// Injection point of one scheduled fault from the run's
+    /// [`FaultPlan`] (crash, crash-recover onset, clock jump, or jammer
+    /// switch-on).
+    Fault {
+        /// Index into [`NetConfig::faults`]`.events`.
+        index: usize,
+    },
+    /// A crashed station reboots and rejoins with fresh volatile state.
+    StationRecover {
+        /// The rebooting station.
         station: StationId,
     },
-    /// Routing repair after a failure (stands in for distributed
-    /// Bellman–Ford reconvergence over the survivors).
+    /// A jammer window ends.
+    JammerOff {
+        /// Index into [`NetConfig::faults`]`.events` of the jam fault.
+        index: usize,
+    },
+    /// A backed-off retransmission becomes eligible again
+    /// ([`HealMode::Local`]).
+    RetryRelease {
+        /// The station holding the packet.
+        station: StationId,
+        /// The packet awaiting retransmission.
+        packet: Packet,
+        /// The holder's boot epoch when the backoff began.
+        epoch: u64,
+    },
+    /// Routing repair after a failure or recovery (stands in for
+    /// distributed Bellman–Ford reconvergence; [`HealMode::Oracle`]).
     Reroute,
 }
 
@@ -106,7 +135,24 @@ pub struct Network {
     usable_gain: parn_phys::Gain,
     /// Results.
     pub metrics: Metrics,
-    dropped_final: u64,
+    /// Fault-machinery RNG (reboot clocks, retry-backoff jitter).
+    rng_faults: Rng,
+    /// Active jammer PHY handles, keyed by fault-plan event index.
+    jammer_tx: BTreeMap<usize, TxId>,
+    /// How many live stations currently hold each station evicted
+    /// (`HealMode::Local`). A station with a nonzero count receives no
+    /// routed traffic.
+    evicted_by: Vec<u32>,
+    /// Per-station reboot counter; in-flight PHY activity is judged
+    /// against the epoch captured at transmission start.
+    boot_epoch: Vec<u64>,
+    /// When each currently-down station went dark (time-to-detect).
+    down_since: Vec<Option<Time>>,
+    /// When each rebooted station rejoined (time-to-heal).
+    recover_mark: Vec<Option<Time>>,
+    /// Whether a `NextArrival` chain is live per station (recovery
+    /// restarts a chain only if the old one has died out).
+    arrivals_live: Vec<bool>,
     tracer: parn_sim::trace::Tracer,
     queue_depth: parn_sim::stats::TimeWeighted,
     on_air: parn_sim::stats::TimeWeighted,
@@ -121,6 +167,7 @@ impl Network {
         let mut rng_clock = root.substream("clocks");
         let rng_traffic = root.substream("traffic");
         let mut rng_routing = root.substream("routing");
+        let rng_faults = root.substream("faults");
 
         let positions = cfg.placement.generate(&mut rng_place);
         let n = positions.len();
@@ -275,7 +322,13 @@ impl Network {
             alive,
             usable_gain,
             metrics,
-            dropped_final: 0,
+            rng_faults,
+            jammer_tx: BTreeMap::new(),
+            evicted_by: vec![0; n],
+            boot_epoch: vec![0; n],
+            down_since: vec![None; n],
+            recover_mark: vec![None; n],
+            arrivals_live: vec![false; n],
             tracer: parn_sim::trace::Tracer::disabled(),
             queue_depth: parn_sim::stats::TimeWeighted::new(Time::ZERO, 0.0),
             on_air: parn_sim::stats::TimeWeighted::new(Time::ZERO, 0.0),
@@ -321,6 +374,7 @@ impl Network {
             if self.has_traffic(s) {
                 let dt = self.next_interarrival();
                 queue.schedule(Time::ZERO + dt, Event::NextArrival { station: s });
+                self.arrivals_live[s] = true;
             }
         }
         // Schedule maintenance. Oracle: periodic out-of-band exchanges,
@@ -342,29 +396,79 @@ impl Network {
                 }
             }
         }
-        for &(at, station) in &self.cfg.failures.clone() {
-            assert!(station < n, "failure station out of range");
-            queue.schedule(Time::ZERO + at, Event::StationFail { station });
-            queue.schedule(Time::ZERO + at + self.cfg.heal_delay, Event::Reroute);
+        // Translate the fault plan into injection events plus their
+        // derived consequences (reboots, jammer switch-offs, and — under
+        // oracle healing — the delayed global route repairs).
+        if let Err(e) = self.cfg.faults.validate(n) {
+            panic!("invalid fault plan: {e}");
+        }
+        let oracle = self.cfg.heal.mode == HealMode::Oracle;
+        let delay = self.cfg.heal.oracle_delay;
+        for (index, ev) in self.cfg.faults.events.iter().enumerate() {
+            let at = Time::ZERO + ev.at;
+            queue.schedule(at, Event::Fault { index });
+            match ev.kind {
+                FaultKind::Crash => {
+                    if oracle {
+                        queue.schedule(at + delay, Event::Reroute);
+                    }
+                }
+                FaultKind::CrashRecover { down_for } => {
+                    queue.schedule(
+                        at + down_for,
+                        Event::StationRecover {
+                            station: ev.station,
+                        },
+                    );
+                    if oracle {
+                        queue.schedule(at + delay, Event::Reroute);
+                        queue.schedule(at + down_for + delay, Event::Reroute);
+                    }
+                }
+                FaultKind::ClockJump { .. } => {}
+                FaultKind::Jam { for_, .. } => {
+                    queue.schedule(at + for_, Event::JammerOff { index });
+                }
+            }
         }
     }
 
     /// Run to completion and return metrics.
     pub fn run(cfg: NetConfig) -> Metrics {
-        let mut net = Network::new(cfg);
+        Network::new(cfg).run_built()
+    }
+
+    /// Prime, run to completion, and surrender metrics — the tail of
+    /// [`Network::run`] for a network built (and possibly probed)
+    /// separately, e.g. to pick fault victims from
+    /// [`Network::routing_dependent_counts`] before the run.
+    pub fn run_built(mut self) -> Metrics {
         let mut queue = EventQueue::new();
-        net.prime(&mut queue);
-        let end = net.end;
+        self.prime(&mut queue);
+        let end = self.end;
         {
             parn_sim::time_scope!("core.run");
-            parn_sim::run(&mut net, &mut queue, end);
+            parn_sim::run(&mut self, &mut queue, end);
         }
-        net.finish()
+        self.finish()
+    }
+
+    /// Replace the fault plan after construction (experiment drivers
+    /// probe a built network, then inject faults into the same build).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.cfg.faults = plan;
+    }
+
+    /// Per-station count of distinct *other* stations whose current
+    /// routes pass through each station (delegates to the route table) —
+    /// a cheap "who is a load-bearing relay" probe.
+    pub fn routing_dependent_counts(&self) -> Vec<usize> {
+        self.routes.routing_dependent_counts()
     }
 
     /// Finalize accounting and surrender metrics.
     pub fn finish(mut self) -> Metrics {
-        let settled = self.metrics.delivered + self.dropped_final;
+        let settled = self.metrics.delivered + self.metrics.total_drops();
         self.metrics.in_flight_at_end = self.metrics.generated.saturating_sub(settled);
         self.metrics.mean_queue_depth = self.queue_depth.average(self.end);
         self.metrics.peak_queue_depth = self.queue_depth.max();
@@ -648,6 +752,8 @@ impl Network {
                 rx,
                 packet: plan.packet,
                 next_hop: nh,
+                tx_epoch: self.boot_epoch[s],
+                rx_epoch: self.boot_epoch[nh],
             },
         );
         // Pipeline: plan the next packet while this one is on air.
@@ -662,6 +768,8 @@ impl Network {
         rx: Option<RxId>,
         packet: Packet,
         nh: StationId,
+        tx_epoch: u64,
+        rx_epoch: u64,
         now: Time,
         queue: &mut EventQueue<Event>,
     ) {
@@ -676,6 +784,12 @@ impl Network {
         if measured && !is_hello {
             self.metrics.hop_attempts += 1;
         }
+        // A reboot in flight voids either end: a rebooted receiver has
+        // forgotten the reception, a rebooted sender has forgotten the
+        // packet.
+        let rx_fresh = self.alive[nh] && self.boot_epoch[nh] == rx_epoch;
+        let tx_fresh = self.alive[s] && self.boot_epoch[s] == tx_epoch;
+        let success = report.as_ref().map(|r| r.success).unwrap_or(false) && rx_fresh;
         parn_sim::trace_event!(
             self.tracer,
             now,
@@ -684,55 +798,52 @@ impl Network {
                 src: s,
                 dst: nh,
                 packet: packet.id,
-                success: report.as_ref().map(|r| r.success).unwrap_or(false),
+                success,
             }
         );
-        match report {
-            Some(rep) if rep.success && self.alive[nh] => {
-                // Every successful reception carries the sender's clock
-                // reading, sampled at transmission start.
-                self.learn_from_reception(nh, s, now.saturating_sub(self.airtime));
-                if is_hello {
-                    if measured {
-                        self.metrics.hellos_received += 1;
-                    }
-                } else {
-                    if measured {
-                        self.metrics.hop_successes += 1;
-                        let margin_db = 10.0 * (rep.min_sinr / self.threshold).log10();
-                        self.metrics.sinr_margin_db.add(margin_db);
-                    }
-                    self.stations[s].attempts.remove(&packet.id);
-                    self.deliver(nh, packet, now, queue);
+        if success {
+            // Every successful reception carries the sender's clock
+            // reading, sampled at transmission start.
+            self.learn_from_reception(nh, s, now.saturating_sub(self.airtime));
+            // The receiver heard the sender: readmit it if evicted.
+            self.observe_alive(nh, s, now, queue);
+            if is_hello {
+                if measured {
+                    self.metrics.hellos_received += 1;
                 }
+            } else {
+                // Implicit ack: the sender learns its next hop is alive.
+                self.observe_alive(s, nh, now, queue);
+                if measured {
+                    self.metrics.hop_successes += 1;
+                    let rep = report.as_ref().expect("successful reception had a report");
+                    let margin_db = 10.0 * (rep.min_sinr / self.threshold).log10();
+                    self.metrics.sinr_margin_db.add(margin_db);
+                }
+                self.stations[s].attempts.remove(&packet.id);
+                self.deliver(nh, packet, now, queue);
             }
-            Some(rep) if self.alive[nh] => {
-                if is_hello {
-                    // Best effort: the next hello round will try again.
-                } else {
-                    let (_kinds, cause) = classify(&rep);
-                    if measured {
-                        self.metrics.record_loss(cause);
-                    }
-                    self.retry_or_drop(s, nh, packet, now, queue);
-                }
+        } else if is_hello {
+            // Best effort: the next hello round will try again. Hello
+            // losses never feed the hop ledger or liveness tracking.
+        } else {
+            let cause = if !rx_fresh {
+                LossCause::StationFailed
+            } else if let Some(rep) = &report {
+                classify(rep).1
+            } else {
+                LossCause::DespreaderExhausted
+            };
+            if measured {
+                self.metrics.record_loss(cause);
             }
-            _ => {
-                // Receiver dark: either it failed (possibly mid-reception)
-                // or its despreaders were exhausted.
-                if is_hello {
-                    // Best effort; dropped silently.
-                } else {
-                    if measured {
-                        let cause = if self.alive[nh] {
-                            LossCause::DespreaderExhausted
-                        } else {
-                            LossCause::StationFailed
-                        };
-                        self.metrics.record_loss(cause);
-                    }
-                    self.retry_or_drop(s, nh, packet, now, queue);
-                }
+            if tx_fresh {
+                self.observe_hop_failure(s, nh, now, queue);
+                self.retry_or_drop(s, packet, now, queue);
+            } else {
+                // The holder rebooted (or died) while the packet was on
+                // air: the packet is gone with its pre-reboot state.
+                self.settle_drop(&packet, LossCause::StationFailed);
             }
         }
         if self.alive[s] {
@@ -764,61 +875,112 @@ impl Network {
         }
         let Some(next) = self.routes.next_hop(at, packet.dst) else {
             // Destination unreachable after a topology change.
-            if measured {
-                self.metrics.record_loss(LossCause::Unroutable);
-                self.dropped_final += 1;
-            }
+            self.settle_drop(&packet, LossCause::Unroutable);
             return;
         };
         self.enqueue_tracked(at, next, packet, now);
         self.try_schedule(at, now, queue);
     }
 
+    /// Settle a packet as finally dropped, attributing the cause.
+    /// Hellos are best-effort and never enter `generated`, so they never
+    /// count as drops either; packets created before the warmup gate are
+    /// likewise outside the measured ledger.
+    fn settle_drop(&mut self, packet: &Packet, cause: LossCause) {
+        if packet.kind == PacketKind::Hello {
+            return;
+        }
+        if self.warm.measured(packet.created) {
+            self.metrics.record_drop(cause);
+        }
+    }
+
     fn retry_or_drop(
         &mut self,
         s: StationId,
-        _nh: StationId,
         packet: Packet,
         now: Time,
         queue: &mut EventQueue<Event>,
     ) {
-        let measured = self.warm.measured(packet.created);
         if !self.alive[s] {
             // The packet's holder is gone with it.
-            if measured {
-                self.metrics.record_loss(LossCause::StationFailed);
-                self.dropped_final += 1;
-            }
+            self.settle_drop(&packet, LossCause::StationFailed);
             return;
         }
         let attempts = self.stations[s].attempts.entry(packet.id).or_insert(0);
         *attempts += 1;
-        let give_up = *attempts > self.cfg.max_retries;
-        if give_up {
+        let attempt = *attempts;
+        if attempt > self.cfg.max_retries {
             self.stations[s].attempts.remove(&packet.id);
-            if measured {
-                self.dropped_final += 1;
-            }
+            self.settle_drop(&packet, LossCause::RetriesExhausted);
             return;
         }
-        if measured {
+        if self.warm.measured(packet.created) {
             self.metrics.retransmissions += 1;
         }
-        // Re-resolve the next hop: routes may have healed around a failed
-        // neighbour since the packet was first queued.
-        let Some(next) = self.routes.next_hop(s, packet.dst) else {
-            if measured {
-                self.metrics.record_loss(LossCause::Unroutable);
-                self.dropped_final += 1;
+        match self.cfg.heal.mode {
+            HealMode::Local => {
+                // Capped binary-exponential backoff with ±50 % jitter:
+                // gives a suspected neighbour room to come back (or be
+                // evicted) instead of burning the retry budget instantly.
+                let base = self.cfg.heal.backoff_base.ticks();
+                let raw = base
+                    .saturating_mul(1u64 << attempt.saturating_sub(1).min(10))
+                    .min(self.cfg.heal.backoff_cap.ticks());
+                let wait = Duration((raw as f64 * self.rng_faults.range_f64(0.5, 1.5)) as u64);
+                queue.schedule(
+                    now + wait,
+                    Event::RetryRelease {
+                        station: s,
+                        packet,
+                        epoch: self.boot_epoch[s],
+                    },
+                );
             }
+            HealMode::Oracle => {
+                // Immediate re-resolve: routes may have healed around a
+                // failed neighbour since the packet was first queued.
+                match self.routes.next_hop(s, packet.dst) {
+                    Some(next) => {
+                        self.enqueue_tracked(s, next, packet, now);
+                        self.try_schedule(s, now, queue);
+                    }
+                    None => self.settle_drop(&packet, LossCause::Unroutable),
+                }
+            }
+        }
+    }
+
+    /// A backed-off retransmission becomes eligible: re-resolve its next
+    /// hop through the (possibly repaired) routes and queue it again.
+    fn on_retry_release(
+        &mut self,
+        s: StationId,
+        packet: Packet,
+        epoch: u64,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if !self.alive[s] || self.boot_epoch[s] != epoch {
+            self.settle_drop(&packet, LossCause::StationFailed);
             return;
-        };
-        self.enqueue_tracked(s, next, packet, now);
-        self.try_schedule(s, now, queue);
+        }
+        match self.routes.next_hop(s, packet.dst) {
+            Some(next) => {
+                self.enqueue_tracked(s, next, packet, now);
+                self.try_schedule(s, now, queue);
+            }
+            None => {
+                self.stations[s].attempts.remove(&packet.id);
+                self.settle_drop(&packet, LossCause::Unroutable);
+            }
+        }
     }
 
     fn on_arrival(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
         if !self.alive[s] {
+            // The chain dies with the station; recovery restarts it.
+            self.arrivals_live[s] = false;
             return;
         }
         // Schedule the next arrival first (keeps the process going even if
@@ -827,6 +989,8 @@ impl Network {
         let next = now + dt;
         if next <= self.end {
             queue.schedule(next, Event::NextArrival { station: s });
+        } else {
+            self.arrivals_live[s] = false;
         }
         let Some(dst) = self.pick_destination(s) else {
             return;
@@ -925,14 +1089,42 @@ impl Network {
         }
     }
 
-    /// A station goes permanently silent: its queued and planned packets
-    /// are lost (accounted as `StationFailed`); in-flight PHY activity is
-    /// allowed to drain so the interference bookkeeping stays exact.
-    fn on_station_fail(&mut self, s: StationId, now: Time) {
+    /// Injection point of one scheduled fault from the plan.
+    fn on_fault(&mut self, index: usize, now: Time, queue: &mut EventQueue<Event>) {
+        let ev = self.cfg.faults.events[index];
+        self.metrics.faults_injected += 1;
+        parn_sim::counter_inc!("core.faults_injected");
+        parn_sim::trace_event!(
+            self.tracer,
+            now,
+            parn_sim::trace::Level::Warn,
+            parn_sim::trace::TraceEvent::FaultInjected {
+                station: ev.station,
+                kind: ev.kind.tag(),
+            }
+        );
+        match ev.kind {
+            FaultKind::Crash | FaultKind::CrashRecover { .. } => {
+                self.on_station_fail(ev.station, now, queue)
+            }
+            FaultKind::ClockJump { ticks } => self.on_clock_jump(ev.station, ticks, now, queue),
+            FaultKind::Jam { power, .. } => {
+                let tx = self.tracker.start_jammer(ev.station, power);
+                self.jammer_tx.insert(index, tx);
+            }
+        }
+    }
+
+    /// A station goes silent (permanently, or until a scheduled
+    /// recovery): its queued and planned packets die with it (accounted
+    /// as `StationFailed` drops); in-flight PHY activity is allowed to
+    /// drain so the interference bookkeeping stays exact.
+    fn on_station_fail(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
         if !self.alive[s] {
             return;
         }
         self.alive[s] = false;
+        self.down_since[s] = Some(now);
         parn_sim::trace_event!(
             self.tracer,
             now,
@@ -954,31 +1146,324 @@ impl Network {
         st.reservations.clear();
         st.attempts.clear();
         st.retry_pending = false;
+        // The dead station's own eviction votes lapse with it.
+        let voted: Vec<StationId> = st
+            .liveness
+            .iter()
+            .filter(|(_, h)| h.evicted)
+            .map(|(&nb, _)| nb)
+            .collect();
+        st.liveness.clear();
         for p in lost {
-            if self.warm.measured(p.created) {
-                self.metrics.record_loss(LossCause::StationFailed);
-                self.dropped_final += 1;
+            self.settle_drop(&p, LossCause::StationFailed);
+        }
+        let mut any_lapsed = false;
+        for nb in voted {
+            self.evicted_by[nb] -= 1;
+            if self.evicted_by[nb] == 0 {
+                any_lapsed = true;
+                if let Some(t0) = self.recover_mark[nb].take() {
+                    self.metrics.time_to_heal.add(now.since(t0).as_secs_f64());
+                }
+            }
+        }
+        if any_lapsed {
+            self.rebuild_routes(now, queue);
+        }
+    }
+
+    /// A crashed station reboots: fresh clock and schedule (volatile
+    /// state is gone), a two-way rejoin handshake re-seeds clock models
+    /// on both sides, and stations that planned transmissions against the
+    /// pre-reboot schedule re-plan them.
+    fn on_station_recover(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
+        if self.alive[s] {
+            return;
+        }
+        self.alive[s] = true;
+        self.boot_epoch[s] += 1;
+        self.down_since[s] = None;
+        self.metrics.stations_recovered += 1;
+        parn_sim::trace_event!(
+            self.tracer,
+            now,
+            parn_sim::trace::Level::Warn,
+            parn_sim::trace::TraceEvent::StationRecovered { station: s }
+        );
+        let clock = StationClock::random(&mut self.rng_faults, self.cfg.clock.max_ppm);
+        self.clocks[s] = clock;
+        self.stations[s].schedule = StationSchedule::new(self.cfg.sched, clock);
+        // Rejoin handshake, both ways: the rebooted station re-seeds its
+        // models of everything it tracks, and every live station tracking
+        // it re-seeds its model (the old one predicts a schedule that no
+        // longer exists) and re-plans any transmissions computed with it.
+        let s_reading = self.clocks[s].reading(now);
+        let tracked: Vec<StationId> = self.stations[s].models.keys().copied().collect();
+        for nb in tracked {
+            if !self.alive[nb] {
+                continue;
+            }
+            let sample = ClockSample {
+                mine: s_reading,
+                theirs: self.clocks[nb].reading(now),
+            };
+            if let Some(m) = self.stations[s].models.get_mut(&nb) {
+                m.reset(sample);
+            }
+        }
+        for o in 0..self.stations.len() {
+            if o == s || !self.alive[o] {
+                continue;
+            }
+            let mine = self.clocks[o].reading(now);
+            if let Some(m) = self.stations[o].models.get_mut(&s) {
+                m.reset(ClockSample {
+                    mine,
+                    theirs: s_reading,
+                });
+                self.cancel_plans(o, now);
+                self.try_schedule(o, now, queue);
+            }
+        }
+        self.recover_mark[s] = match self.cfg.heal.mode {
+            HealMode::Oracle => Some(now),
+            // Local healing only "heals" what it noticed was broken.
+            HealMode::Local => (self.evicted_by[s] > 0).then_some(now),
+        };
+        if self.cfg.heal.mode == HealMode::Local {
+            self.rebuild_routes(now, queue);
+        }
+        // Restart the arrival process if the pre-crash chain died out.
+        if !self.arrivals_live[s] && self.cfg.traffic.arrivals_per_station_per_sec > 0.0 {
+            let dt = self.next_interarrival();
+            let next = now + dt;
+            if next <= self.end {
+                queue.schedule(next, Event::NextArrival { station: s });
+                self.arrivals_live[s] = true;
             }
         }
     }
 
-    /// Network-wide route repair over the surviving stations. Queued
-    /// packets are re-pointed at their new next hops; packets whose
+    /// An instantaneous discontinuity in a station's clock. The station
+    /// notices its own jump: it rebuilds its schedule, re-plans pending
+    /// transmissions, and shifts the "mine" axis of every clock model it
+    /// holds. Its *neighbours'* models of it are now stale — that
+    /// lingering staleness is the injected fault, healed by resync
+    /// (oracle sync), packet headers (piggyback), or evict-and-readmit
+    /// (local healing).
+    fn on_clock_jump(
+        &mut self,
+        s: StationId,
+        ticks: i64,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if !self.alive[s] {
+            return;
+        }
+        self.clocks[s].offset = self.clocks[s].offset.wrapping_add_signed(ticks);
+        let clock = self.clocks[s];
+        self.stations[s].schedule = StationSchedule::new(self.cfg.sched, clock);
+        self.cancel_plans(s, now);
+        for m in self.stations[s].models.values_mut() {
+            m.rebase_mine(ticks);
+        }
+        self.try_schedule(s, now, queue);
+    }
+
+    /// A jammer window ends: silence the extra transmitter.
+    fn on_jammer_off(&mut self, index: usize) {
+        if let Some(tx) = self.jammer_tx.remove(&index) {
+            self.tracker.end_transmission(tx);
+        }
+    }
+
+    /// Cancel every outstanding plan at `o` and put the packets back in
+    /// its queues; the caller re-runs the MAC with refreshed clock state.
+    /// The orphaned `TxStart` events no-op (their plans are gone).
+    fn cancel_plans(&mut self, o: StationId, now: Time) {
+        let plans = std::mem::take(&mut self.stations[o].pending_tx);
+        if plans.is_empty() {
+            return;
+        }
+        let airtime = self.airtime;
+        {
+            let st = &mut self.stations[o];
+            for plan in plans.values() {
+                let end = plan.start + airtime;
+                st.reservations
+                    .retain(|&(rs, re)| !(rs == plan.start && re == end));
+            }
+        }
+        for (_, plan) in plans {
+            self.enqueue_tracked(o, plan.next_hop, plan.packet, now);
+        }
+    }
+
+    /// Local-healing failure observation: another consecutive failed hop
+    /// towards `nh`. Crossing `suspect_after` starts suspicion; staying
+    /// suspected past `evict_timeout` evicts the neighbour from the
+    /// routing view and repairs routes around it.
+    fn observe_hop_failure(
+        &mut self,
+        s: StationId,
+        nh: StationId,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if self.cfg.heal.mode != HealMode::Local || !self.alive[s] {
+            return;
+        }
+        let suspect_after = self.cfg.heal.suspect_after;
+        let evict_timeout = self.cfg.heal.evict_timeout;
+        let mut suspected = false;
+        let mut evicted = false;
+        {
+            let h = self.stations[s].liveness.entry(nh).or_default();
+            if h.evicted {
+                return;
+            }
+            h.consecutive_failures += 1;
+            if h.consecutive_failures >= suspect_after {
+                match h.suspected_at {
+                    None => {
+                        h.suspected_at = Some(now);
+                        suspected = true;
+                    }
+                    Some(t0) if now.since(t0) >= evict_timeout => {
+                        h.evicted = true;
+                        evicted = true;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if suspected {
+            self.metrics.neighbors_suspected += 1;
+            parn_sim::trace_event!(
+                self.tracer,
+                now,
+                parn_sim::trace::Level::Info,
+                parn_sim::trace::TraceEvent::NeighborSuspected {
+                    observer: s,
+                    suspect: nh,
+                }
+            );
+        }
+        if evicted {
+            self.metrics.neighbors_evicted += 1;
+            parn_sim::counter_inc!("core.neighbors_evicted");
+            parn_sim::trace_event!(
+                self.tracer,
+                now,
+                parn_sim::trace::Level::Warn,
+                parn_sim::trace::TraceEvent::NeighborEvicted {
+                    observer: s,
+                    evicted: nh,
+                }
+            );
+            self.evicted_by[nh] += 1;
+            if self.evicted_by[nh] == 1 {
+                // First evictor: this is the network's detection moment.
+                if !self.alive[nh] {
+                    if let Some(t0) = self.down_since[nh].take() {
+                        self.metrics.time_to_detect.add(now.since(t0).as_secs_f64());
+                    }
+                }
+                self.rebuild_routes(now, queue);
+            }
+        }
+    }
+
+    /// Local-healing liveness observation: `observer` heard `subject`
+    /// (received from it, or got the implicit ack of a successful hop to
+    /// it). Good standing is restored; if the subject was evicted, the
+    /// reachability update floods and every eviction of it lifts.
+    fn observe_alive(
+        &mut self,
+        observer: StationId,
+        subject: StationId,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if self.cfg.heal.mode != HealMode::Local {
+            return;
+        }
+        let Some(h) = self.stations[observer].liveness.get_mut(&subject) else {
+            return;
+        };
+        h.consecutive_failures = 0;
+        h.suspected_at = None;
+        if h.evicted {
+            self.readmit_everywhere(subject, now, queue);
+        }
+    }
+
+    /// A station heard an evicted neighbour again: the reachability
+    /// update floods (modelled instantly, like the global route rebuild
+    /// it triggers), lifting every eviction of `subject` and re-seeding
+    /// its former evictors' (possibly reboot-stale) clock models of it.
+    fn readmit_everywhere(&mut self, subject: StationId, now: Time, queue: &mut EventQueue<Event>) {
+        let theirs = self.clocks[subject].reading(now);
+        let mut lifted = 0u64;
+        for o in 0..self.stations.len() {
+            if o == subject || !self.alive[o] {
+                continue;
+            }
+            let mine = self.clocks[o].reading(now);
+            let Some(h) = self.stations[o].liveness.get_mut(&subject) else {
+                continue;
+            };
+            if !h.evicted {
+                continue;
+            }
+            h.evicted = false;
+            h.consecutive_failures = 0;
+            h.suspected_at = None;
+            lifted += 1;
+            let sample = ClockSample { mine, theirs };
+            match self.stations[o].models.get_mut(&subject) {
+                Some(m) => m.reset(sample),
+                None => {
+                    self.stations[o]
+                        .models
+                        .insert(subject, RemoteClockModel::from_first_sample(sample));
+                }
+            }
+        }
+        self.metrics.neighbors_readmitted += lifted;
+        self.evicted_by[subject] = 0;
+        if let Some(t0) = self.recover_mark[subject].take() {
+            self.metrics.time_to_heal.add(now.since(t0).as_secs_f64());
+        }
+        self.rebuild_routes(now, queue);
+    }
+
+    /// Rebuild routing state over the currently usable topology: dead
+    /// stations drop out entirely; evicted stations (local healing) stop
+    /// receiving routed traffic but keep transmitting their own. The
+    /// repair stands in for reconvergence: Distributed mode heals with
+    /// the same centralized fixed point it would converge to. Queued
+    /// packets are re-pointed through the new table; packets whose
     /// destinations became unreachable are dropped (accounted).
-    fn on_reroute(&mut self, now: Time, queue: &mut EventQueue<Event>) {
-        let graph = EnergyGraph::from_model_filtered(&*self.gains, self.usable_gain, &self.alive);
-        // Repair stands in for reconvergence: Distributed mode heals with
-        // the same centralized fixed point it would converge to.
+    fn rebuild_routes(&mut self, now: Time, queue: &mut EventQueue<Event>) {
+        self.metrics.route_repairs += 1;
+        parn_sim::counter_inc!("core.route_repairs");
+        let n = self.stations.len();
+        let tx_ok = self.alive.clone();
+        let rx_ok: Vec<bool> = (0..n)
+            .map(|j| self.alive[j] && self.evicted_by[j] == 0)
+            .collect();
+        let graph = EnergyGraph::from_model_masked(&*self.gains, self.usable_gain, &tx_ok, &rx_ok);
         self.routes = match self.cfg.route_mode {
             RouteMode::OneHop => RouteTable::one_hop(&graph),
             _ => RouteTable::centralized(&graph),
         };
-        let n = self.stations.len();
         if matches!(self.cfg.traffic.dest, DestPolicy::UniformAll) {
             for s in 0..n {
                 self.reachable[s] = if self.alive[s] {
                     (0..n)
-                        .filter(|&d| d != s && self.alive[d] && self.routes.reachable(s, d))
+                        .filter(|&d| d != s && rx_ok[d] && self.routes.reachable(s, d))
                         .collect()
                 } else {
                     Vec::new()
@@ -989,41 +1474,74 @@ impl Network {
             if !self.alive[s] {
                 continue;
             }
-            // Refresh routing neighbours; drop dead protected entries; add
-            // clock models for any new next hops (bootstrapped with a
-            // rendezvous now).
             let rn = self.routes.routing_neighbors(s);
+            // Recompute the §7.3 protected set for the new worst-case
+            // power — fully, not by filtering the old set: a recovered
+            // station must be re-protected, not stay forgotten.
+            let max_power_used = rn
+                .iter()
+                .map(|&nb| self.power.tx_power(self.gains.gain(nb, s)).value())
+                .fold(0.0f64, f64::max);
+            let mut protected = Vec::new();
+            if self.cfg.protection.enabled && max_power_used > 0.0 {
+                let thr = parn_phys::Gain(
+                    self.cfg.protection.significance_fraction * self.interference_budget.value()
+                        / max_power_used,
+                );
+                protected = self.gains.hearable_by(s, thr);
+                protected.retain(|&p| p != s && self.alive[p]);
+            }
+            // Clock models for any new next hops or protected stations,
+            // bootstrapped with a rendezvous now.
             let mine = self.clocks[s].reading(now);
-            for &nb in &rn {
+            for &nb in rn.iter().chain(protected.iter()) {
                 let theirs = self.clocks[nb].reading(now);
                 self.stations[s].models.entry(nb).or_insert_with(|| {
                     RemoteClockModel::from_first_sample(ClockSample { mine, theirs })
                 });
             }
-            let alive = &self.alive;
-            let st = &mut self.stations[s];
-            st.routing_neighbors = rn;
-            st.protected.retain(|&p| alive[p]);
-            // Re-point queued packets through the healed table.
-            let queued: Vec<Packet> = std::mem::take(&mut st.queues)
-                .into_values()
-                .flatten()
-                .collect();
+            let queued: Vec<Packet> = {
+                let st = &mut self.stations[s];
+                st.routing_neighbors = rn;
+                st.protected = protected;
+                std::mem::take(&mut st.queues)
+                    .into_values()
+                    .flatten()
+                    .collect()
+            };
             self.queue_depth.adjust(now, -(queued.len() as f64));
             for p in queued {
-                let measured = self.warm.measured(p.created);
+                if p.kind == PacketKind::Hello {
+                    // Hellos are pinned to their addressee; keep one only
+                    // if the addressee is still a direct neighbour, else
+                    // let the next hello round regenerate it.
+                    if self.routes.next_hop(s, p.dst) == Some(p.dst) {
+                        self.enqueue_tracked(s, p.dst, p, now);
+                    }
+                    continue;
+                }
                 match self.routes.next_hop(s, p.dst) {
                     Some(next) => self.enqueue_tracked(s, next, p, now),
-                    None => {
-                        if measured {
-                            self.metrics.record_loss(LossCause::Unroutable);
-                            self.dropped_final += 1;
-                        }
-                    }
+                    None => self.settle_drop(&p, LossCause::Unroutable),
                 }
             }
             self.try_schedule(s, now, queue);
         }
+    }
+
+    /// Oracle-mode route repair event: sample detect/heal latencies for
+    /// the outages this repair notices, then rebuild.
+    fn on_reroute(&mut self, now: Time, queue: &mut EventQueue<Event>) {
+        for s in 0..self.stations.len() {
+            if !self.alive[s] {
+                if let Some(t0) = self.down_since[s].take() {
+                    self.metrics.time_to_detect.add(now.since(t0).as_secs_f64());
+                }
+            } else if let Some(t0) = self.recover_mark[s].take() {
+                self.metrics.time_to_heal.add(now.since(t0).as_secs_f64());
+            }
+        }
+        self.rebuild_routes(now, queue);
     }
 }
 
@@ -1044,10 +1562,21 @@ impl Model for Network {
                 rx,
                 packet,
                 next_hop,
-            } => self.on_tx_end(station, tx, rx, packet, next_hop, now, queue),
+                tx_epoch,
+                rx_epoch,
+            } => self.on_tx_end(
+                station, tx, rx, packet, next_hop, tx_epoch, rx_epoch, now, queue,
+            ),
             Event::Resync => self.on_resync(now, queue),
             Event::HelloRound { station } => self.on_hello_round(station, now, queue),
-            Event::StationFail { station } => self.on_station_fail(station, now),
+            Event::Fault { index } => self.on_fault(index, now, queue),
+            Event::StationRecover { station } => self.on_station_recover(station, now, queue),
+            Event::JammerOff { index } => self.on_jammer_off(index),
+            Event::RetryRelease {
+                station,
+                packet,
+                epoch,
+            } => self.on_retry_release(station, packet, epoch, now, queue),
             Event::Reroute => self.on_reroute(now, queue),
         }
     }
@@ -1160,23 +1689,43 @@ mod tests {
         let mut cfg = small_cfg(40, 17);
         cfg.run_for = Duration::from_secs(12);
         cfg.traffic.arrivals_per_station_per_sec = 2.0;
-        cfg.failures = vec![(Duration::from_secs(4), 3), (Duration::from_secs(4), 11)];
+        cfg.faults =
+            FaultPlan::crashes([(Duration::from_secs(4), 3), (Duration::from_secs(4), 11)]);
         let m = Network::run(cfg);
         // Traffic keeps flowing after the heal.
         assert!(m.delivered > 100, "{}", m.summary());
         // The scheme itself stays collision-free throughout.
         assert_eq!(m.collision_losses(), 0, "{}", m.summary());
         assert_eq!(m.schedule_violations, 0);
-        // Every undelivered packet is accounted: ledger balances.
-        assert!(m.delivered + m.in_flight_at_end <= m.generated);
-        // Losses, if any, carry failure-related causes only.
+        assert_eq!(m.faults_injected, 2);
+        assert!(m.time_to_detect.count() == 2, "{}", m.summary());
+        // Every undelivered packet is accounted: both ledgers balance
+        // exactly.
+        assert!(m.conservation_holds(), "{}", m.summary());
+        assert!(m.delivered + m.total_drops() <= m.generated);
+        assert_eq!(
+            m.hop_attempts,
+            m.hop_successes + m.total_losses(),
+            "{}",
+            m.summary()
+        );
+        // Losses carry failure-related causes only; drops settle as
+        // holder-death, unroutability, or an exhausted retry budget.
         for (cause, count) in &m.losses {
+            assert!(
+                matches!(cause, crate::packet::LossCause::StationFailed) || *count == 0,
+                "unexpected loss cause {cause:?} x{count}"
+            );
+        }
+        for (cause, count) in &m.drops {
             assert!(
                 matches!(
                     cause,
-                    crate::packet::LossCause::StationFailed | crate::packet::LossCause::Unroutable
+                    crate::packet::LossCause::StationFailed
+                        | crate::packet::LossCause::Unroutable
+                        | crate::packet::LossCause::RetriesExhausted
                 ) || *count == 0,
-                "unexpected loss cause {cause:?} x{count}"
+                "unexpected drop cause {cause:?} x{count}"
             );
         }
     }
@@ -1188,18 +1737,94 @@ mod tests {
         cfg.run_for = Duration::from_secs(14);
         let probe = Network::new(cfg.clone());
         // Busiest relay = station with most routing dependents.
-        let relay = (0..40)
-            .max_by_key(|&s| {
-                (0..40)
-                    .filter(|&o| o != s)
-                    .filter(|&o| probe.routes().routing_neighbors(o).contains(&s))
-                    .count()
-            })
-            .unwrap();
-        cfg.failures = vec![(Duration::from_secs(5), relay)];
+        let deps = probe.routing_dependent_counts();
+        let relay = (0..deps.len()).max_by_key(|&s| deps[s]).unwrap();
+        assert!(deps[relay] > 0, "probe found no relay at all");
+        cfg.faults = FaultPlan::none().crash(Duration::from_secs(5), relay);
         let m = Network::run(cfg);
         assert!(m.delivered > 100, "{}", m.summary());
         assert_eq!(m.collision_losses(), 0);
+    }
+
+    #[test]
+    fn crash_recover_rejoins_and_heals() {
+        let mut cfg = small_cfg(40, 21);
+        cfg.run_for = Duration::from_secs(14);
+        cfg.traffic.arrivals_per_station_per_sec = 2.0;
+        cfg.faults =
+            FaultPlan::none().crash_recover(Duration::from_secs(4), 7, Duration::from_secs(3));
+        let m = Network::run(cfg);
+        assert_eq!(m.stations_recovered, 1, "{}", m.summary());
+        assert!(m.time_to_heal.count() > 0, "{}", m.summary());
+        assert!(m.delivered > 100, "{}", m.summary());
+        assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+        assert!(m.conservation_holds(), "{}", m.summary());
+        assert_eq!(m.hop_attempts, m.hop_successes + m.total_losses());
+    }
+
+    #[test]
+    fn local_heal_detects_evicts_and_readmits() {
+        let mut cfg = small_cfg(40, 19);
+        cfg.run_for = Duration::from_secs(16);
+        cfg.traffic.arrivals_per_station_per_sec = 2.0;
+        cfg.heal = crate::faults::HealConfig::local();
+        let probe = Network::new(cfg.clone());
+        let deps = probe.routing_dependent_counts();
+        let relay = (0..deps.len()).max_by_key(|&s| deps[s]).unwrap();
+        cfg.faults =
+            FaultPlan::none().crash_recover(Duration::from_secs(4), relay, Duration::from_secs(4));
+        let m = Network::run(cfg);
+        assert!(m.neighbors_evicted > 0, "{}", m.summary());
+        assert!(m.neighbors_readmitted > 0, "{}", m.summary());
+        assert!(m.time_to_detect.count() > 0, "{}", m.summary());
+        assert!(m.time_to_heal.count() > 0, "{}", m.summary());
+        assert!(m.delivered > 100, "{}", m.summary());
+        assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+        assert!(m.conservation_holds(), "{}", m.summary());
+        assert_eq!(m.hop_attempts, m.hop_successes + m.total_losses());
+    }
+
+    #[test]
+    fn jammer_losses_are_attributed_not_collisions() {
+        let mut cfg = small_cfg(40, 23);
+        cfg.run_for = Duration::from_secs(12);
+        cfg.traffic.arrivals_per_station_per_sec = 2.0;
+        let probe = Network::new(cfg.clone());
+        let deps = probe.routing_dependent_counts();
+        let anchor = (0..deps.len()).max_by_key(|&s| deps[s]).unwrap();
+        cfg.faults = FaultPlan::none().jam(
+            Duration::from_secs(4),
+            anchor,
+            Duration::from_secs(2),
+            parn_phys::PowerW(0.01),
+        );
+        let m = Network::run(cfg);
+        let jammed = m
+            .losses
+            .get(&crate::packet::LossCause::Jammed)
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            jammed > 0,
+            "jammer caused no attributed losses: {}",
+            m.summary()
+        );
+        assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+        assert!(m.conservation_holds(), "{}", m.summary());
+        assert_eq!(m.hop_attempts, m.hop_successes + m.total_losses());
+    }
+
+    #[test]
+    fn clock_jump_survives_with_accounting_intact() {
+        let mut cfg = small_cfg(40, 27);
+        cfg.run_for = Duration::from_secs(12);
+        cfg.traffic.arrivals_per_station_per_sec = 2.0;
+        cfg.faults = FaultPlan::none().clock_jump(Duration::from_secs(4), 5, 2_500_000);
+        let m = Network::run(cfg);
+        assert_eq!(m.faults_injected, 1);
+        assert!(m.delivered > 100, "{}", m.summary());
+        assert!(m.conservation_holds(), "{}", m.summary());
+        assert_eq!(m.hop_attempts, m.hop_successes + m.total_losses());
     }
 
     #[test]

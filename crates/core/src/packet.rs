@@ -82,6 +82,12 @@ pub enum LossCause {
     /// The destination became unreachable after a topology change and the
     /// packet was dropped at rerouting time.
     Unroutable,
+    /// SINR below threshold with a deliberate jammer as a significant
+    /// interferer — adversarial interference, not a protocol collision.
+    Jammed,
+    /// The packet exhausted its per-hop retransmission budget and was
+    /// dropped by its holder.
+    RetriesExhausted,
 }
 
 #[cfg(test)]

@@ -13,6 +13,22 @@ use parn_sched::{RemoteClockModel, StationSchedule, Window};
 use parn_sim::Time;
 use std::collections::{BTreeMap, VecDeque};
 
+/// Local liveness estimate of one neighbour (`HealMode::Local`): built
+/// entirely from this station's own hop outcomes (implicit acks), never
+/// from global state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeighborHealth {
+    /// Consecutive failed hop attempts to this neighbour (reset on any
+    /// success).
+    pub consecutive_failures: u32,
+    /// When suspicion started (the failure that crossed the suspect
+    /// threshold). `None` while the neighbour is in good standing.
+    pub suspected_at: Option<Time>,
+    /// Whether this station has evicted the neighbour from its routing
+    /// view (cleared on re-admission).
+    pub evicted: bool,
+}
+
 /// A transmission the MAC has committed to.
 #[derive(Clone, Debug)]
 pub struct PlannedTx {
@@ -58,6 +74,9 @@ pub struct Station {
     /// Per-packet transmit attempts for the head entries, keyed by packet
     /// id (cleared on success/drop).
     pub attempts: BTreeMap<u64, u32>,
+    /// Per-neighbour liveness tracking for local failure detection
+    /// (`HealMode::Local`). BTreeMap for deterministic iteration.
+    pub liveness: BTreeMap<StationId, NeighborHealth>,
 }
 
 impl Station {
@@ -75,6 +94,7 @@ impl Station {
             protected: Vec::new(),
             retry_pending: false,
             attempts: BTreeMap::new(),
+            liveness: BTreeMap::new(),
         }
     }
 

@@ -39,6 +39,9 @@ pub struct ActiveTransmission {
     /// The station this transmission is addressed to (`None` for
     /// broadcast/control emissions).
     pub intended_rx: Option<StationId>,
+    /// True for deliberate interference (an injected jammer) rather than
+    /// a protocol transmission.
+    pub jammer: bool,
 }
 
 /// One interferer's contribution at the moment a reception first failed.
@@ -50,6 +53,10 @@ pub struct Blame {
     pub intended_rx: Option<StationId>,
     /// Received interference power it contributed.
     pub contribution: PowerW,
+    /// True when the interferer is a deliberate jammer, so failure
+    /// classification can attribute the loss to jamming rather than to a
+    /// protocol collision.
+    pub jammer: bool,
 }
 
 /// Final report for a completed reception.
@@ -403,6 +410,25 @@ impl SinrTracker {
         power: PowerW,
         intended_rx: Option<StationId>,
     ) -> TxId {
+        self.start_tx_inner(station, power, intended_rx, false)
+    }
+
+    /// Begin a deliberate interference (jammer) emission anchored at
+    /// `station`'s position. It raises interference exactly like a
+    /// protocol transmission on every backend (dense and grid alike) but
+    /// is flagged so blame reports mark it as a jammer. End the window
+    /// with [`SinrTracker::end_transmission`].
+    pub fn start_jammer(&mut self, station: StationId, power: PowerW) -> TxId {
+        self.start_tx_inner(station, power, None, true)
+    }
+
+    fn start_tx_inner(
+        &mut self,
+        station: StationId,
+        power: PowerW,
+        intended_rx: Option<StationId>,
+        jammer: bool,
+    ) -> TxId {
         debug_assert!(power.value() > 0.0, "zero-power transmission");
         let id = self.next_tx;
         self.next_tx += 1;
@@ -415,6 +441,7 @@ impl SinrTracker {
                 station,
                 power,
                 intended_rx,
+                jammer,
             },
         );
         if self.far.is_some() {
@@ -694,6 +721,7 @@ impl SinrTracker {
                     station: tx.station,
                     intended_rx: tx.intended_rx,
                     contribution: self.received_power(rx, tx.station, tx.power),
+                    jammer: tx.jammer,
                 })
                 .filter(|b| b.contribution.value() > 0.0)
                 .collect();

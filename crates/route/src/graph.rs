@@ -97,15 +97,30 @@ impl EnergyGraph {
         usable_gain: Gain,
         alive: &[bool],
     ) -> EnergyGraph {
+        Self::from_model_masked(gains, usable_gain, alive, alive)
+    }
+
+    /// Like [`from_model`](EnergyGraph::from_model), with *independent*
+    /// transmit and receive eligibility masks: the edge `i → j` exists
+    /// when `tx_ok[i]`, `rx_ok[j]`, and the hop is usable. Local-heal
+    /// route repair routes *around* evicted stations (`rx_ok` false — no
+    /// traffic is forwarded to them) while still letting them originate
+    /// and forward their own queued traffic (`tx_ok` true). With equal
+    /// masks this is exactly
+    /// [`from_model_filtered`](EnergyGraph::from_model_filtered).
+    pub fn from_model_masked(
+        gains: &dyn GainModel,
+        usable_gain: Gain,
+        tx_ok: &[bool],
+        rx_ok: &[bool],
+    ) -> EnergyGraph {
         let n = gains.len();
-        assert_eq!(alive.len(), n, "alive mask size mismatch");
+        assert_eq!(tx_ok.len(), n, "tx mask size mismatch");
+        assert_eq!(rx_ok.len(), n, "rx mask size mismatch");
         let mut adj = vec![Vec::new(); n];
-        for j in 0..n {
-            if !alive[j] {
-                continue;
-            }
+        for (j, _) in rx_ok.iter().enumerate().filter(|&(_, &ok)| ok) {
             for i in gains.hearable_by(j, usable_gain) {
-                if !alive[i] {
+                if !tx_ok[i] {
                     continue;
                 }
                 let g = gains.gain(j, i);
@@ -271,6 +286,29 @@ mod tests {
         let alive = [true, false, true];
         let a = EnergyGraph::from_gains_filtered(&gm, Gain(1e-6), &alive);
         let b = EnergyGraph::from_model_filtered(&gm, Gain(1e-6), &alive);
+        for i in 0..3 {
+            assert_eq!(a.neighbors(i), b.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn masked_separates_tx_and_rx_eligibility() {
+        let gm = line_gains();
+        // Station 1 may transmit but not receive (evicted from routing
+        // views while still flushing its own queue).
+        let g = EnergyGraph::from_model_masked(
+            &gm,
+            Gain(1e-6),
+            &[true, true, true],
+            &[true, false, true],
+        );
+        assert!(g.edge_cost(0, 1).is_none(), "edge into evicted rx kept");
+        assert!(g.edge_cost(1, 0).is_some(), "evicted station lost tx");
+        assert!(g.edge_cost(1, 2).is_some());
+        // Equal masks reduce to the filtered build.
+        let alive = [true, false, true];
+        let a = EnergyGraph::from_model_filtered(&gm, Gain(1e-6), &alive);
+        let b = EnergyGraph::from_model_masked(&gm, Gain(1e-6), &alive, &alive);
         for i in 0..3 {
             assert_eq!(a.neighbors(i), b.neighbors(i));
         }

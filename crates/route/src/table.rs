@@ -200,6 +200,47 @@ impl RouteTable {
         }
     }
 
+    /// For every station `h`: how many *other* stations currently use `h`
+    /// as a routing neighbour (their next hop toward at least one
+    /// destination) — the dependents a failure of `h` would strand.
+    ///
+    /// One pass over the stored table (O(M²) on the dense repr, O(E) on
+    /// one-hop), so experiment harnesses ranking relays by blast radius
+    /// don't need a per-candidate [`routing_neighbors`]
+    /// (O(M³)) scan — or a second `Network` build — to get the counts.
+    ///
+    /// [`routing_neighbors`]: RouteTable::routing_neighbors
+    pub fn routing_dependent_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n];
+        match &self.repr {
+            Repr::Dense { next_hop, .. } => {
+                let mut seen = vec![usize::MAX; self.n]; // last src using h
+                for src in 0..self.n {
+                    for dst in 0..self.n {
+                        if let Some(h) = next_hop[src * self.n + dst] {
+                            if seen[h] != src {
+                                seen[h] = src;
+                                counts[h] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Repr::OneHop { adj } => {
+                let mut seen = vec![usize::MAX; self.n];
+                for (src, out) in adj.iter().enumerate() {
+                    for &(h, _) in out {
+                        if seen[h] != src {
+                            seen[h] = src;
+                            counts[h] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        counts
+    }
+
     /// Maximum routing-neighbour count over all stations.
     pub fn max_routing_degree(&self) -> usize {
         (0..self.n)
@@ -309,6 +350,23 @@ mod tests {
         // Station 1 uses 0 and 2.
         assert_eq!(t.routing_neighbors(1), vec![0, 2]);
         assert_eq!(t.max_routing_degree(), 2);
+    }
+
+    #[test]
+    fn dependent_counts_match_routing_neighbors_scan() {
+        for t in [
+            RouteTable::centralized(&chain()),
+            RouteTable::one_hop(&chain()),
+        ] {
+            let counts = t.routing_dependent_counts();
+            let mut expected = vec![0usize; t.len()];
+            for src in 0..t.len() {
+                for h in t.routing_neighbors(src) {
+                    expected[h] += 1;
+                }
+            }
+            assert_eq!(counts, expected);
+        }
     }
 
     #[test]

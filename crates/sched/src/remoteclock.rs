@@ -59,6 +59,26 @@ impl RemoteClockModel {
         self.refit();
     }
 
+    /// Discard all history and restart the model from a single fresh
+    /// exchange — the neighbour's clock is known to be discontinuous
+    /// (reboot, re-admission after an outage), so the old samples would
+    /// poison the fit.
+    pub fn reset(&mut self, s: ClockSample) {
+        self.samples.clear();
+        self.samples.push(s);
+        self.refit();
+    }
+
+    /// Shift the *local* axis of every retained sample by `delta` ticks:
+    /// my own clock just jumped by a known amount, so the exchanged
+    /// history stays valid once re-expressed in the new local timescale.
+    pub fn rebase_mine(&mut self, delta: i64) {
+        for s in &mut self.samples {
+            s.mine = s.mine.wrapping_add_signed(delta);
+        }
+        self.refit();
+    }
+
     /// Number of samples currently in the window.
     pub fn sample_count(&self) -> usize {
         self.samples.len()
@@ -239,6 +259,41 @@ mod tests {
         });
         assert_eq!(m.rate(), 1.0);
         assert_eq!(m.predict(200), 1000);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut m = RemoteClockModel::from_first_sample(ClockSample { mine: 0, theirs: 0 });
+        m.add_sample(ClockSample {
+            mine: 1_000_000,
+            theirs: 1_000_100,
+        });
+        m.reset(ClockSample {
+            mine: 2_000_000,
+            theirs: 500,
+        });
+        assert_eq!(m.sample_count(), 1);
+        assert_eq!(m.rate(), 1.0);
+        assert_eq!(m.predict(2_000_100), 600);
+    }
+
+    #[test]
+    fn rebase_mine_preserves_predictions_after_own_jump() {
+        let a = StationClock::ideal();
+        let b = StationClock {
+            offset: 42_000,
+            ppm: 90.0,
+        };
+        let mut m = RemoteClockModel::from_first_sample(exchange(&a, &b, Time::ZERO));
+        m.add_sample(exchange(&a, &b, Time::from_secs(10)));
+        let t = Time::from_secs(20);
+        let before = m.predict(a.reading(t));
+        // My clock jumps forward by 5000 ticks; rebasing keeps the model
+        // pointing at the same *their*-clock instants.
+        let jump = 5000i64;
+        m.rebase_mine(jump);
+        let after = m.predict(a.reading(t).wrapping_add_signed(jump));
+        assert!(before.abs_diff(after) <= 2, "{before} vs {after}");
     }
 
     #[test]

@@ -62,6 +62,36 @@ pub enum TraceEvent {
         /// The failed station.
         station: usize,
     },
+    /// A scripted fault struck a station (crash / clock jump / jammer
+    /// window opening).
+    FaultInjected {
+        /// The afflicted station (jam: the jammer's anchor).
+        station: usize,
+        /// Fault tag (`"crash"`, `"clock_jump"`, `"jam"`).
+        kind: &'static str,
+    },
+    /// Local failure detection: an observer saw enough consecutive hop
+    /// failures to suspect a neighbor.
+    NeighborSuspected {
+        /// The suspecting station.
+        observer: usize,
+        /// The neighbor under suspicion.
+        suspect: usize,
+    },
+    /// Local failure detection: a suspected neighbor kept failing past
+    /// the eviction timeout and was removed from the routing view.
+    NeighborEvicted {
+        /// The evicting station.
+        observer: usize,
+        /// The evicted neighbor.
+        evicted: usize,
+    },
+    /// A crashed station rebooted and rejoined with a fresh clock and
+    /// schedule.
+    StationRecovered {
+        /// The rebooted station.
+        station: usize,
+    },
     /// Free-form annotation under a caller-chosen category.
     Note {
         /// Category tag (e.g. `"route"`).
@@ -72,13 +102,17 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
-    /// Stable category tag for filtering (`"mac"`, `"phy"`, `"fail"`, or the
-    /// note's own category).
+    /// Stable category tag for filtering (`"mac"`, `"phy"`, `"fail"`,
+    /// `"fault"`, `"heal"`, or the note's own category).
     pub fn category(&self) -> &'static str {
         match self {
             TraceEvent::MacPlanned { .. } => "mac",
             TraceEvent::HopOutcome { .. } => "phy",
             TraceEvent::StationFailed { .. } => "fail",
+            TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::NeighborSuspected { .. }
+            | TraceEvent::NeighborEvicted { .. }
+            | TraceEvent::StationRecovered { .. } => "heal",
             TraceEvent::Note { category, .. } => category,
         }
     }
@@ -107,6 +141,18 @@ impl fmt::Display for TraceEvent {
                 if *success { "received" } else { "failed" }
             ),
             TraceEvent::StationFailed { station } => write!(f, "station {station} failed"),
+            TraceEvent::FaultInjected { station, kind } => {
+                write!(f, "fault {kind} injected at station {station}")
+            }
+            TraceEvent::NeighborSuspected { observer, suspect } => {
+                write!(f, "station {observer} suspects neighbor {suspect}")
+            }
+            TraceEvent::NeighborEvicted { observer, evicted } => {
+                write!(f, "station {observer} evicted neighbor {evicted}")
+            }
+            TraceEvent::StationRecovered { station } => {
+                write!(f, "station {station} recovered")
+            }
             TraceEvent::Note { message, .. } => f.write_str(message),
         }
     }

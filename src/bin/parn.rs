@@ -3,14 +3,16 @@
 //! ```text
 //! parn run [--stations N] [--seed S] [--rate R] [--secs T] [--p P]
 //!          [--drift PPM] [--shadowing DB] [--neighbors] [--piggyback SECS]
-//!          [--fail T:ID]... [--verbose]
+//!          [--fail T:ID]... [--fail-recover T:ID:DOWN]... [--jam T:ID:SECS]...
+//!          [--heal oracle|local] [--verbose]
 //! parn capacity [--stations M] [--bandwidth-mhz W] [--eta E]
 //! parn sweep-p [--stations N] [--rate R]
 //! parn help
 //! ```
 
-use parn::core::{DestPolicy, LossCause, NetConfig, Network, SyncMode};
+use parn::core::{DestPolicy, FaultPlan, HealConfig, LossCause, NetConfig, Network, SyncMode};
 use parn::phys::linkbudget::SystemDesign;
+use parn::phys::PowerW;
 use parn::sim::Duration;
 use std::process::ExitCode;
 
@@ -100,13 +102,57 @@ fn cmd_run(args: &Args) -> ExitCode {
             hello_interval: Duration::from_secs_f64(secs),
         };
     }
+    let mut plan = FaultPlan::none();
     for f in args.all("fail") {
         let Some((t, id)) = f.split_once(':') else {
             die("--fail expects T:STATION_ID");
         };
         let t: f64 = t.parse().unwrap_or_else(|_| die("--fail: bad time"));
         let id: usize = id.parse().unwrap_or_else(|_| die("--fail: bad station"));
-        cfg.failures.push((Duration::from_secs_f64(t), id));
+        plan = plan.crash(Duration::from_secs_f64(t), id);
+    }
+    for f in args.all("fail-recover") {
+        let parts: Vec<&str> = f.split(':').collect();
+        let &[t, id, down] = parts.as_slice() else {
+            die("--fail-recover expects T:STATION_ID:DOWN_SECS");
+        };
+        let t: f64 = t
+            .parse()
+            .unwrap_or_else(|_| die("--fail-recover: bad time"));
+        let id: usize = id
+            .parse()
+            .unwrap_or_else(|_| die("--fail-recover: bad station"));
+        let down: f64 = down
+            .parse()
+            .unwrap_or_else(|_| die("--fail-recover: bad downtime"));
+        plan = plan.crash_recover(
+            Duration::from_secs_f64(t),
+            id,
+            Duration::from_secs_f64(down),
+        );
+    }
+    for f in args.all("jam") {
+        let parts: Vec<&str> = f.split(':').collect();
+        let &[t, id, secs] = parts.as_slice() else {
+            die("--jam expects T:STATION_ID:SECS");
+        };
+        let t: f64 = t.parse().unwrap_or_else(|_| die("--jam: bad time"));
+        let id: usize = id.parse().unwrap_or_else(|_| die("--jam: bad station"));
+        let secs: f64 = secs.parse().unwrap_or_else(|_| die("--jam: bad duration"));
+        plan = plan.jam(
+            Duration::from_secs_f64(t),
+            id,
+            Duration::from_secs_f64(secs),
+            PowerW(0.01),
+        );
+    }
+    cfg.faults = plan;
+    match args.get("heal") {
+        None | Some("oracle") => cfg.heal = HealConfig::oracle(),
+        Some("local") => cfg.heal = HealConfig::local(),
+        Some(other) => die(&format!(
+            "--heal: expected 'oracle' or 'local', got '{other}'"
+        )),
     }
 
     let net = if args.has("verbose") {
@@ -137,9 +183,18 @@ fn cmd_run(args: &Args) -> ExitCode {
         ("  despreader limit  ", LossCause::DespreaderExhausted),
         ("  din (link budget) ", LossCause::Din),
         ("  station failed    ", LossCause::StationFailed),
+        ("  jammed            ", LossCause::Jammed),
         ("  unroutable        ", LossCause::Unroutable),
     ] {
         println!("{label} {}", m.losses.get(&c).copied().unwrap_or(0));
+    }
+    println!("drop ledger:");
+    for (label, c) in [
+        ("  station failed    ", LossCause::StationFailed),
+        ("  retries exhausted ", LossCause::RetriesExhausted),
+        ("  unroutable        ", LossCause::Unroutable),
+    ] {
+        println!("{label} {}", m.drops.get(&c).copied().unwrap_or(0));
     }
     if m.collision_losses() == 0 {
         println!("collision-free: OK");
@@ -210,7 +265,9 @@ fn usage() {
          USAGE:\n\
            parn run [--stations N] [--seed S] [--rate R] [--secs T] [--p P]\n\
                     [--drift PPM] [--shadowing DB] [--neighbors]\n\
-                    [--piggyback SECS] [--fail T:ID]... [--verbose]\n\
+                    [--piggyback SECS] [--fail T:ID]...\n\
+                    [--fail-recover T:ID:DOWN]... [--jam T:ID:SECS]...\n\
+                    [--heal oracle|local] [--verbose]\n\
            parn capacity [--stations M] [--bandwidth-mhz W] [--eta E]\n\
            parn sweep-p [--stations N] [--rate R]\n\
            parn help"

@@ -2,7 +2,7 @@
 //! mechanisms (failures, piggyback sync, shadowing, distributed routing,
 //! SIC) running together.
 
-use parn::core::{DestPolicy, NetConfig, Network, RouteMode, SyncMode};
+use parn::core::{DestPolicy, FaultPlan, NetConfig, Network, RouteMode, SyncMode};
 use parn::sim::Duration;
 
 fn base(n: usize, seed: u64) -> NetConfig {
@@ -21,7 +21,7 @@ fn failures_under_piggyback_sync() {
         hello_interval: Duration::from_secs(1),
     };
     c.clock.max_ppm = 50.0;
-    c.failures = vec![(Duration::from_secs(4), 7)];
+    c.faults = FaultPlan::crashes([(Duration::from_secs(4), 7)]);
     let m = Network::run(c);
     assert!(m.delivered > 200, "{}", m.summary());
     assert_eq!(m.collision_losses(), 0, "{}", m.summary());
@@ -33,7 +33,7 @@ fn shadowing_with_failures_heals_over_shadowed_graph() {
     let mut c = base(60, 67);
     c.shadowing_sigma_db = 6.0;
     c.reach_factor = 3.0;
-    c.failures = vec![(Duration::from_secs(3), 5), (Duration::from_secs(5), 23)];
+    c.faults = FaultPlan::crashes([(Duration::from_secs(3), 5), (Duration::from_secs(5), 23)]);
     let m = Network::run(c);
     assert!(m.delivered > 200, "{}", m.summary());
     assert_eq!(m.collision_losses(), 0, "{}", m.summary());
@@ -64,19 +64,20 @@ fn everything_on_at_once() {
         hello_interval: Duration::from_secs(2),
     };
     c.clock.max_ppm = 80.0;
-    c.failures = vec![(Duration::from_secs(5), 11)];
+    c.faults = FaultPlan::crashes([(Duration::from_secs(5), 11)]);
     let m = Network::run(c.clone());
     assert!(m.delivered > 100, "{}", m.summary());
     assert_eq!(m.collision_losses(), 0, "{}", m.summary());
-    // Ledger still balances: every failed hop has a recorded cause.
-    // (With failures injected, *additional* losses exist that never were
-    // hop attempts: queue drops at the dead station and unroutable drops
-    // at reroute time — so ≤, not =.)
-    assert!(
-        m.hop_attempts - m.hop_successes <= m.total_losses(),
+    // Ledger balances exactly: per-reception losses and per-packet drops
+    // are separate books now, so queue drops at the dead station no
+    // longer inflate the hop ledger.
+    assert_eq!(
+        m.hop_attempts - m.hop_successes,
+        m.total_losses(),
         "{}",
         m.summary()
     );
+    assert!(m.conservation_holds(), "{}", m.summary());
     // And the whole pile is still deterministic.
     let m2 = Network::run(c);
     assert_eq!(m.delivered, m2.delivered);

@@ -1,0 +1,95 @@
+//! Property tests for the fault-injection subsystem: arbitrary generated
+//! fault plans must never break the packet-conservation ledger, runs must
+//! stay bit-deterministic through churn, and fault injection must be
+//! identical across PHY backends.
+
+use parn::core::{FaultPlan, HealConfig, NetConfig, Network, PhyBackend};
+use parn::sim::{Duration, Rng};
+use parn::testkit::cases;
+
+fn churn_config(rng: &mut Rng) -> NetConfig {
+    let n = 12 + rng.below(28) as usize;
+    let mut cfg = NetConfig::paper_default(n, rng.below(1000));
+    cfg.run_for = Duration::from_secs(6);
+    cfg.warmup = Duration::from_millis(500);
+    cfg.traffic.arrivals_per_station_per_sec = (5 + rng.below(25)) as f64 / 10.0;
+    cfg.clock.max_ppm = rng.below(100) as f64;
+    let count = 1 + rng.below(5) as usize;
+    cfg.faults = FaultPlan::generate(rng.below(1 << 32), n, count, cfg.run_for);
+    if rng.chance(0.5) {
+        cfg.heal = HealConfig::local();
+    }
+    cfg
+}
+
+#[test]
+fn conservation_holds_under_arbitrary_fault_plans() {
+    cases(18, "fault_conservation", |_, rng| {
+        let cfg = churn_config(rng);
+        let m = Network::run(cfg.clone());
+        // Per-packet book: everything generated is delivered, in flight,
+        // or settled as an attributed drop.
+        assert!(
+            m.conservation_holds(),
+            "conservation broke under {:?}: {}",
+            cfg.faults,
+            m.summary()
+        );
+        // Per-reception book: every failed hop attempt has a cause.
+        assert_eq!(
+            m.hop_attempts - m.hop_successes,
+            m.total_losses(),
+            "hop ledger broke under {:?}: {}",
+            cfg.faults,
+            m.summary()
+        );
+        assert_eq!(m.faults_injected, cfg.faults.events.len() as u64);
+    });
+}
+
+#[test]
+fn churn_runs_are_deterministic() {
+    cases(10, "fault_determinism", |_, rng| {
+        let mut cfg = churn_config(rng);
+        // Force at least one crash-recover so reboots (fresh clocks,
+        // epoch bumps, rendezvous re-seeds) are part of what must repeat.
+        let n = cfg.faults.events.first().map_or(5, |e| e.station);
+        cfg.faults = cfg.faults.clone().crash_recover(
+            Duration::from_secs(2),
+            n,
+            Duration::from_millis(1500),
+        );
+        let a = Network::run(cfg.clone());
+        let b = Network::run(cfg);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.hop_attempts, b.hop_attempts);
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.stations_recovered, b.stations_recovered);
+        assert_eq!(a.neighbors_evicted, b.neighbors_evicted);
+        assert_eq!(a.time_to_detect.count(), b.time_to_detect.count());
+        assert!((a.e2e_delay.mean() - b.e2e_delay.mean()).abs() < 1e-12);
+    });
+}
+
+#[test]
+fn fault_injection_is_backend_invariant() {
+    cases(8, "fault_backend", |_, rng| {
+        // The same seeded plan must produce bit-identical simulations on
+        // the dense reference matrix and the exact spatial index.
+        let dense = churn_config(rng);
+        let mut grid = dense.clone();
+        grid.phy_backend = PhyBackend::Grid { far_field: None };
+        let a = Network::run(dense);
+        let b = Network::run(grid);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.hop_attempts, b.hop_attempts);
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.neighbors_evicted, b.neighbors_evicted);
+    });
+}
