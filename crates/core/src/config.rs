@@ -115,14 +115,69 @@ impl FarFieldConfig {
 pub enum RouteMode {
     /// All-pairs Dijkstra from a central view (reference).
     Centralized,
-    /// Distributed asynchronous Bellman–Ford (what real stations run).
-    /// Both converge to minimum-energy fixed points; tie-breaks may
-    /// differ.
+    /// Distributed asynchronous Bellman–Ford run as a real protocol (§6.2):
+    /// every station keeps a private distance-vector state and learns
+    /// routes only from advertisements carried over the scheduled channel.
+    /// Converges to the same minimum-energy fixed point as `Centralized`;
+    /// tie-breaks may differ. Tuned by [`DvConfig`].
     Distributed,
     /// Direct-edge table only (O(E) memory): valid when traffic is
     /// single-hop (`DestPolicy::Neighbors`), the regime the metro-scale
     /// experiments run in.
     OneHop,
+}
+
+/// Distance-vector protocol knobs (`RouteMode::Distributed`).
+#[derive(Clone, Copy, Debug)]
+pub struct DvConfig {
+    /// Cadence of each station's periodic full-vector advertisement to
+    /// every link neighbour (the loss-recovery net; triggered updates
+    /// carry most changes sooner).
+    pub update_interval: Duration,
+    /// Delay between a routing-table change and the triggered update it
+    /// provokes — batches bursts of changes into one advertisement round.
+    pub triggered_delay: Duration,
+    /// Hold-down: after a station loses its route to a destination, it
+    /// ignores third-party claims for that destination for this long
+    /// (bounds count-to-infinity; first-hand link restoration is exempt).
+    pub holddown: Duration,
+    /// A convergence episode is declared over when no routing table
+    /// anywhere has changed for this long.
+    pub convergence_quiet: Duration,
+}
+
+impl DvConfig {
+    /// Defaults scaled to the 10 ms slot: triggered updates batch at one
+    /// slot, periodic refresh every 40 slots, hold-down just above the
+    /// refresh cadence, quiescence after 20 quiet slots.
+    pub fn paper_default() -> DvConfig {
+        DvConfig {
+            update_interval: Duration::from_millis(400),
+            triggered_delay: Duration::from_millis(10),
+            holddown: Duration::from_millis(500),
+            convergence_quiet: Duration::from_millis(200),
+        }
+    }
+
+    /// Provenance serialization (see [`NetConfig::to_json`]).
+    pub fn to_json(&self) -> parn_sim::Json {
+        use parn_sim::json::obj;
+        obj([
+            (
+                "update_interval_s",
+                self.update_interval.as_secs_f64().into(),
+            ),
+            (
+                "triggered_delay_s",
+                self.triggered_delay.as_secs_f64().into(),
+            ),
+            ("holddown_s", self.holddown.as_secs_f64().into()),
+            (
+                "convergence_quiet_s",
+                self.convergence_quiet.as_secs_f64().into(),
+            ),
+        ])
+    }
 }
 
 /// The §7.3 rule for protecting nearby neighbours' receive windows.
@@ -195,6 +250,9 @@ pub struct NetConfig {
     pub phy_backend: PhyBackend,
     /// Routing-table construction mode.
     pub route_mode: RouteMode,
+    /// Distance-vector exchange tuning (used by `RouteMode::Distributed`;
+    /// inert otherwise).
+    pub dv: DvConfig,
     /// Injected faults: a deterministic script of crashes,
     /// crash-recoveries, clock jumps, and jammer windows (see
     /// [`crate::faults`]). Empty by default.
@@ -250,6 +308,7 @@ impl NetConfig {
             max_outstanding_plans: 8,
             phy_backend: PhyBackend::Dense,
             route_mode: RouteMode::Centralized,
+            dv: DvConfig::paper_default(),
             faults: FaultPlan::none(),
             heal: HealConfig::oracle(),
             run_for: Duration::from_secs(20),
@@ -409,6 +468,7 @@ impl NetConfig {
             ("max_outstanding_plans", self.max_outstanding_plans.into()),
             ("phy_backend", phy_backend),
             ("route_mode", route_mode.into()),
+            ("dv", self.dv.to_json()),
             ("faults", self.faults.to_json()),
             ("heal", self.heal.to_json()),
             ("run_for_s", self.run_for.as_secs_f64().into()),

@@ -35,11 +35,11 @@ pub mod station;
 
 pub use collision::{classify, classify_with, CollisionKinds};
 pub use config::{
-    ClockConfig, DestPolicy, FarFieldConfig, NeighborProtection, NetConfig, PhyBackend, RouteMode,
-    SyncMode, TrafficConfig,
+    ClockConfig, DestPolicy, DvConfig, FarFieldConfig, NeighborProtection, NetConfig, PhyBackend,
+    RouteMode, SyncMode, TrafficConfig,
 };
 pub use faults::{FaultEvent, FaultKind, FaultPlan, HealConfig, HealMode};
 pub use metrics::Metrics;
 pub use network::{Event, Network};
-pub use packet::{LossCause, Packet, PacketKind};
+pub use packet::{ControlPayload, LossCause, Packet, PacketKind};
 pub use power::PowerPolicy;

@@ -6,6 +6,7 @@
 
 use parn_phys::StationId;
 use parn_sim::Time;
+use std::sync::Arc;
 
 /// Unique packet identifier.
 pub type PacketId = u64;
@@ -19,6 +20,27 @@ pub enum PacketKind {
     /// (schedule maintenance under piggyback synchronization). Best
     /// effort: never retried, not counted as traffic.
     Hello,
+    /// A single-hop distance-vector advertisement (`RouteMode::Distributed`
+    /// §6.2): the sender's routing vector with split horizon / poisoned
+    /// reverse applied for the addressee. Same ledger treatment as hellos:
+    /// best effort, never retried, outside the traffic books.
+    RouteUpdate,
+}
+
+/// Control-plane payload attached to a hello or route-update packet.
+///
+/// The bits are snapshotted when the transmission *starts* (like the
+/// clock reading a hello carries) and delivered intact on success; the
+/// PHY never examines them.
+#[derive(Clone, Debug, Default)]
+pub struct ControlPayload {
+    /// Distance-vector advertisement: `(total route energy, hop count)`
+    /// per destination, poisoned for routes through the addressee.
+    pub route_vector: Option<Vec<(f64, u32)>>,
+    /// Liveness gossip: when the sender last heard each tracked station
+    /// (directly or through earlier gossip). Lets idle neighbours be
+    /// ruled alive without any data traffic.
+    pub last_heard: Option<Vec<(StationId, Time)>>,
 }
 
 /// A packet in flight through the network.
@@ -39,6 +61,14 @@ pub struct Packet {
     /// Time the packet was enqueued at the current holder (for per-hop
     /// queueing-delay statistics).
     pub enqueued: Time,
+    /// Stations this packet has been held by, source first. Forwarding
+    /// back into this set is refused (the per-packet loop-freedom
+    /// invariant for distributed routing); shared cheaply across clones.
+    pub visited: Vec<StationId>,
+    /// Control payload (hello gossip / distance-vector advertisement),
+    /// snapshotted at transmission start. `None` for data packets and for
+    /// queued control packets that have not gone on the air yet.
+    pub payload: Option<Arc<ControlPayload>>,
 }
 
 impl Packet {
@@ -52,6 +82,8 @@ impl Packet {
             created: now,
             hops: 0,
             enqueued: now,
+            visited: vec![src],
+            payload: None,
         }
     }
 
@@ -88,6 +120,10 @@ pub enum LossCause {
     /// The packet exhausted its per-hop retransmission budget and was
     /// dropped by its holder.
     RetriesExhausted,
+    /// Forwarding the packet would have revisited a station it already
+    /// passed through (a transient distance-vector loop); dropped at the
+    /// holder instead of cycling.
+    RoutingLoop,
 }
 
 #[cfg(test)]
@@ -101,6 +137,8 @@ mod tests {
         assert_eq!(p.kind, PacketKind::Data);
         assert_eq!((p.src, p.dst), (1, 5));
         assert_eq!(p.hops, 0);
+        assert_eq!(p.visited, vec![1]);
+        assert!(p.payload.is_none());
         assert_eq!(p.age(Time::from_secs(5)).as_secs_f64(), 3.0);
     }
 }

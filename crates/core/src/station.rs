@@ -77,6 +77,13 @@ pub struct Station {
     /// Per-neighbour liveness tracking for local failure detection
     /// (`HealMode::Local`). BTreeMap for deterministic iteration.
     pub liveness: BTreeMap<StationId, NeighborHealth>,
+    /// Whether a triggered distance-vector update round is already
+    /// scheduled (dedupes bursts of table changes into one round).
+    pub update_pending: bool,
+    /// When this station last heard each other station — directly (any
+    /// reception or implicit ack) or through hello gossip. BTreeMap for
+    /// deterministic iteration.
+    pub last_heard: BTreeMap<StationId, Time>,
 }
 
 impl Station {
@@ -95,6 +102,8 @@ impl Station {
             retry_pending: false,
             attempts: BTreeMap::new(),
             liveness: BTreeMap::new(),
+            update_pending: false,
+            last_heard: BTreeMap::new(),
         }
     }
 

@@ -6,6 +6,16 @@
 //! activated in arbitrary (even adversarial) order, pull their neighbours'
 //! current vectors, and relax. With non-negative costs and no topology
 //! churn, this converges to the same fixed point as Dijkstra.
+//!
+//! This module is the *synchronous shared-memory* model of that process:
+//! nodes read each other's vectors directly, which is useful for proving
+//! the fixed point but says nothing about message exchange. The [`dv`]
+//! module is the protocol-shaped counterpart — per-station private state,
+//! explicit advertisements with split horizon / poisoned reverse, link
+//! failure and hold-down — that the simulator actually runs in
+//! `RouteMode::Distributed`.
+//!
+//! [`dv`]: crate::dv
 
 use crate::graph::EnergyGraph;
 use parn_phys::StationId;

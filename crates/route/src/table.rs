@@ -90,6 +90,22 @@ impl RouteTable {
         }
     }
 
+    /// Assemble a dense table from per-station rows — used by
+    /// [`DvCluster`](crate::dv::DvCluster) to snapshot the distributed
+    /// exchange's current (possibly transient) network-wide view.
+    pub(crate) fn from_dense(
+        n: usize,
+        next_hop: Vec<Option<StationId>>,
+        cost: Vec<f64>,
+    ) -> RouteTable {
+        assert_eq!(next_hop.len(), n * n);
+        assert_eq!(cost.len(), n * n);
+        RouteTable {
+            n,
+            repr: Repr::Dense { next_hop, cost },
+        }
+    }
+
     /// Build a single-hop table: `next_hop(s, d)` is `Some(d)` exactly
     /// when the direct edge `s → d` is usable, and multi-hop destinations
     /// are unreachable. O(E) memory — the only all-pairs-free option, for

@@ -92,6 +92,24 @@ pub enum TraceEvent {
         /// The rebooted station.
         station: usize,
     },
+    /// Distributed routing: a station put a distance-vector advertisement
+    /// on the air.
+    RouteUpdateSent {
+        /// The advertising station.
+        station: usize,
+        /// The neighbor addressed.
+        neighbor: usize,
+        /// Packet id of the update.
+        packet: u64,
+    },
+    /// Distributed routing: a convergence episode quiesced — no table
+    /// changed anywhere for the configured quiet period.
+    RouteConverged {
+        /// 1-based episode number within the run.
+        episode: u64,
+        /// Time of the last table change in the episode.
+        quiesced_at: Time,
+    },
     /// Free-form annotation under a caller-chosen category.
     Note {
         /// Category tag (e.g. `"route"`).
@@ -103,7 +121,7 @@ pub enum TraceEvent {
 
 impl TraceEvent {
     /// Stable category tag for filtering (`"mac"`, `"phy"`, `"fail"`,
-    /// `"fault"`, `"heal"`, or the note's own category).
+    /// `"fault"`, `"heal"`, `"route"`, or the note's own category).
     pub fn category(&self) -> &'static str {
         match self {
             TraceEvent::MacPlanned { .. } => "mac",
@@ -113,6 +131,7 @@ impl TraceEvent {
             TraceEvent::NeighborSuspected { .. }
             | TraceEvent::NeighborEvicted { .. }
             | TraceEvent::StationRecovered { .. } => "heal",
+            TraceEvent::RouteUpdateSent { .. } | TraceEvent::RouteConverged { .. } => "route",
             TraceEvent::Note { category, .. } => category,
         }
     }
@@ -153,6 +172,18 @@ impl fmt::Display for TraceEvent {
             TraceEvent::StationRecovered { station } => {
                 write!(f, "station {station} recovered")
             }
+            TraceEvent::RouteUpdateSent {
+                station,
+                neighbor,
+                packet,
+            } => write!(
+                f,
+                "station {station} advertised routes to {neighbor} (pkt {packet})"
+            ),
+            TraceEvent::RouteConverged {
+                episode,
+                quiesced_at,
+            } => write!(f, "routing converged (episode {episode}) at {quiesced_at}"),
             TraceEvent::Note { message, .. } => f.write_str(message),
         }
     }

@@ -4,13 +4,16 @@
 //! parn run [--stations N] [--seed S] [--rate R] [--secs T] [--p P]
 //!          [--drift PPM] [--shadowing DB] [--neighbors] [--piggyback SECS]
 //!          [--fail T:ID]... [--fail-recover T:ID:DOWN]... [--jam T:ID:SECS]...
+//!          [--route centralized|distributed|one-hop]
 //!          [--heal oracle|local] [--verbose]
 //! parn capacity [--stations M] [--bandwidth-mhz W] [--eta E]
 //! parn sweep-p [--stations N] [--rate R]
 //! parn help
 //! ```
 
-use parn::core::{DestPolicy, FaultPlan, HealConfig, LossCause, NetConfig, Network, SyncMode};
+use parn::core::{
+    DestPolicy, FaultPlan, HealConfig, LossCause, NetConfig, Network, RouteMode, SyncMode,
+};
 use parn::phys::linkbudget::SystemDesign;
 use parn::phys::PowerW;
 use parn::sim::Duration;
@@ -147,6 +150,14 @@ fn cmd_run(args: &Args) -> ExitCode {
         );
     }
     cfg.faults = plan;
+    match args.get("route") {
+        None | Some("centralized") => cfg.route_mode = RouteMode::Centralized,
+        Some("distributed") => cfg.route_mode = RouteMode::Distributed,
+        Some("one-hop") => cfg.route_mode = RouteMode::OneHop,
+        Some(other) => die(&format!(
+            "--route: expected 'centralized', 'distributed' or 'one-hop', got '{other}'"
+        )),
+    }
     match args.get("heal") {
         None | Some("oracle") => cfg.heal = HealConfig::oracle(),
         Some("local") => cfg.heal = HealConfig::local(),
@@ -193,6 +204,7 @@ fn cmd_run(args: &Args) -> ExitCode {
         ("  station failed    ", LossCause::StationFailed),
         ("  retries exhausted ", LossCause::RetriesExhausted),
         ("  unroutable        ", LossCause::Unroutable),
+        ("  routing loop      ", LossCause::RoutingLoop),
     ] {
         println!("{label} {}", m.drops.get(&c).copied().unwrap_or(0));
     }
@@ -267,6 +279,7 @@ fn usage() {
                     [--drift PPM] [--shadowing DB] [--neighbors]\n\
                     [--piggyback SECS] [--fail T:ID]...\n\
                     [--fail-recover T:ID:DOWN]... [--jam T:ID:SECS]...\n\
+                    [--route centralized|distributed|one-hop]\n\
                     [--heal oracle|local] [--verbose]\n\
            parn capacity [--stations M] [--bandwidth-mhz W] [--eta E]\n\
            parn sweep-p [--stations N] [--rate R]\n\

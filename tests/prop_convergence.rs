@@ -1,0 +1,238 @@
+//! Convergence property suite for the distributed distance-vector
+//! exchange (paper §6.2): after quiescence the per-station tables must
+//! agree with the centralized minimum-energy fixpoint, no packet may
+//! ever traverse a routing cycle (the simulator's per-packet visited-set
+//! invariant aborts the run if one does), and generated fault plans must
+//! leave the conservation ledger balanced and the runs bit-deterministic
+//! on both PHY backends.
+
+use parn::core::{FaultKind, FaultPlan, NetConfig, Network, PhyBackend, RouteMode, SyncMode};
+use parn::sim::{Duration, Time};
+use parn::testkit::cases;
+
+fn dv_config(n: usize, seed: u64) -> NetConfig {
+    let mut cfg = NetConfig::paper_default(n, seed);
+    cfg.route_mode = RouteMode::Distributed;
+    cfg.run_for = Duration::from_secs(6);
+    cfg.warmup = Duration::from_millis(500);
+    cfg
+}
+
+/// Keep only the crash / crash-recover events of a generated plan: the
+/// convergence properties are about topology loss and repair, not
+/// jamming or clock discontinuities.
+fn crashes_only(plan: FaultPlan) -> FaultPlan {
+    let mut out = FaultPlan::none();
+    for ev in plan.events {
+        match ev.kind {
+            FaultKind::Crash | FaultKind::CrashRecover { .. } => {
+                out = out.with(ev.at, ev.station, ev.kind);
+            }
+            FaultKind::ClockJump { .. } | FaultKind::Jam { .. } => {}
+        }
+    }
+    out
+}
+
+/// Drive a built network to its end time and hand back the network
+/// (metrics left inside) so private-table snapshots stay inspectable.
+fn run_keep(mut net: Network, run_for: Duration) -> Network {
+    let mut queue = parn::sim::EventQueue::new();
+    net.prime(&mut queue);
+    parn::sim::run(&mut net, &mut queue, Time::ZERO + run_for);
+    net
+}
+
+#[test]
+fn quiescent_tables_match_centralized_optimum() {
+    // On a static graph, the exchange must settle on exactly the
+    // centralized minimum-energy costs — checked after the simulation
+    // has run (periodic advertisement rounds included), not just after
+    // the cold-start handshake, and on both PHY backends.
+    cases(6, "dv_quiescent_optimum", |case, rng| {
+        let n = 20 + rng.below(181) as usize; // 20..=200
+        let seed = rng.below(1_000_000);
+        let backend = if case % 2 == 0 {
+            PhyBackend::Dense
+        } else {
+            PhyBackend::Grid { far_field: None }
+        };
+        let mut cfg = dv_config(n, seed);
+        cfg.phy_backend = backend;
+        cfg.run_for = Duration::from_secs(3);
+        cfg.traffic.arrivals_per_station_per_sec = 0.0;
+        let mut cent_cfg = cfg.clone();
+        cent_cfg.route_mode = RouteMode::Centralized;
+        let cent = Network::new(cent_cfg);
+
+        let net = run_keep(Network::new(cfg), Duration::from_secs(3));
+        assert_eq!(
+            net.metrics.neighbors_evicted, 0,
+            "fault-free run evicted a neighbour"
+        );
+        let dv = net.dv_table().expect("distributed mode has dv tables");
+        for s in 0..n {
+            for d in 0..n {
+                let (a, b) = (dv.cost(s, d), cent.routes().cost(s, d));
+                if a.is_finite() || b.is_finite() {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "n={n} seed={seed} {s}->{d}: dv {a} vs centralized {b}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn faulted_runs_conserve_packets_and_stay_loop_free() {
+    // Crash / crash-recover churn in true-distributed mode: every packet
+    // settles on the conservation ledger, every loss has a cause, and no
+    // delivered packet can have traversed a cycle — the simulator
+    // asserts the visited-set invariant on every forward, and a path
+    // that revisits no station has at most n-1 hops.
+    cases(10, "dv_fault_conservation", |_, rng| {
+        let n = 15 + rng.below(25) as usize;
+        let mut cfg = dv_config(n, rng.below(1000));
+        cfg.run_for = Duration::from_secs(8);
+        cfg.traffic.arrivals_per_station_per_sec = (5 + rng.below(20)) as f64 / 10.0;
+        cfg.clock.max_ppm = rng.below(80) as f64;
+        let count = 1 + rng.below(4) as usize;
+        cfg.faults = crashes_only(FaultPlan::generate(
+            rng.below(1 << 32),
+            n,
+            count,
+            cfg.run_for,
+        ));
+        let m = Network::run(cfg.clone());
+        assert!(
+            m.conservation_holds(),
+            "conservation broke under {:?}: {}",
+            cfg.faults,
+            m.summary()
+        );
+        assert_eq!(
+            m.hop_attempts - m.hop_successes,
+            m.total_losses(),
+            "hop ledger broke under {:?}: {}",
+            cfg.faults,
+            m.summary()
+        );
+        assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+        // Healing never falls back to the global recompute.
+        assert_eq!(m.route_repairs, 0, "{}", m.summary());
+        if m.delivered > 0 {
+            assert!(
+                m.hops_per_packet.max() <= (n - 1) as f64,
+                "a delivered packet used {} hops in an {n}-station network",
+                m.hops_per_packet.max()
+            );
+        }
+    });
+}
+
+#[test]
+fn faulted_runs_are_bit_deterministic() {
+    cases(6, "dv_fault_determinism", |_, rng| {
+        let n = 15 + rng.below(25) as usize;
+        let mut cfg = dv_config(n, rng.below(1000));
+        cfg.run_for = Duration::from_secs(8);
+        cfg.traffic.arrivals_per_station_per_sec = 1.5;
+        // Force at least one crash-recover so reboot state resets, link
+        // restoration and re-convergence are part of what must repeat.
+        cfg.faults = crashes_only(FaultPlan::generate(rng.below(1 << 32), n, 3, cfg.run_for))
+            .crash_recover(
+                Duration::from_secs(3),
+                rng.below(n as u64) as usize,
+                Duration::from_secs(2),
+            );
+        let a = Network::run(cfg.clone());
+        let b = Network::run(cfg);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.hop_attempts, b.hop_attempts);
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.route_updates_sent, b.route_updates_sent);
+        assert_eq!(a.route_updates_received, b.route_updates_received);
+        assert_eq!(a.routing_loops, b.routing_loops);
+        assert_eq!(a.converged_at.count(), b.converged_at.count());
+        assert_eq!(a.time_to_heal.count(), b.time_to_heal.count());
+        assert!((a.time_to_heal.mean() - b.time_to_heal.mean()).abs() < 1e-12);
+        assert!((a.converged_at.mean() - b.converged_at.mean()).abs() < 1e-12);
+    });
+}
+
+#[test]
+fn faulted_runs_are_backend_invariant() {
+    // The same seeded crash plan must produce bit-identical distributed
+    // simulations on the dense reference matrix and the spatial index.
+    cases(5, "dv_fault_backend", |_, rng| {
+        let n = 15 + rng.below(25) as usize;
+        let mut dense = dv_config(n, rng.below(1000));
+        dense.run_for = Duration::from_secs(6);
+        dense.traffic.arrivals_per_station_per_sec = 1.5;
+        dense.faults = crashes_only(FaultPlan::generate(rng.below(1 << 32), n, 2, dense.run_for));
+        let mut grid = dense.clone();
+        grid.phy_backend = PhyBackend::Grid { far_field: None };
+        let a = Network::run(dense);
+        let b = Network::run(grid);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.hop_attempts, b.hop_attempts);
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.route_updates_sent, b.route_updates_sent);
+        assert_eq!(a.routing_loops, b.routing_loops);
+    });
+}
+
+#[test]
+fn reconvergence_after_recovery_is_bounded_and_reaches_optimum() {
+    // After a crash-recover episode the exchange must actually settle
+    // (a convergence episode closes before the run ends) and, once the
+    // topology is whole again, the private tables must be back at the
+    // centralized optimum over the full graph.
+    cases(4, "dv_reconvergence", |_, rng| {
+        let n = 20 + rng.below(21) as usize;
+        let seed = rng.below(1000);
+        let mut cfg = dv_config(n, seed);
+        cfg.run_for = Duration::from_secs(16);
+        cfg.traffic.arrivals_per_station_per_sec = 1.0;
+        cfg.clock.sync = SyncMode::Piggyback {
+            hello_interval: Duration::from_secs(1),
+        };
+        let probe = Network::new(cfg.clone());
+        let deps = probe.routing_dependent_counts();
+        let relay = (0..deps.len()).max_by_key(|&s| deps[s]).unwrap();
+        cfg.faults =
+            FaultPlan::none().crash_recover(Duration::from_secs(4), relay, Duration::from_secs(3));
+
+        let mut cent_cfg = cfg.clone();
+        cent_cfg.route_mode = RouteMode::Centralized;
+        cent_cfg.faults = FaultPlan::none();
+        let cent = Network::new(cent_cfg);
+
+        let net = run_keep(Network::new(cfg), Duration::from_secs(16));
+        let m = &net.metrics;
+        assert_eq!(m.route_repairs, 0, "{}", m.summary());
+        assert!(
+            m.converged_at.count() > 0,
+            "no convergence episode closed: {}",
+            m.summary()
+        );
+        let dv = net.dv_table().expect("distributed mode has dv tables");
+        for s in 0..n {
+            for d in 0..n {
+                let (a, b) = (dv.cost(s, d), cent.routes().cost(s, d));
+                if a.is_finite() || b.is_finite() {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "n={n} seed={seed} post-heal {s}->{d}: dv {a} vs centralized {b}"
+                    );
+                }
+            }
+        }
+    });
+}
