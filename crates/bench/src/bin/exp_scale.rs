@@ -4,25 +4,30 @@
 //! stations, 800 MB at 10⁴, and ~80 GB at 10⁵, where it stops being a
 //! simulation backend and starts being a swap benchmark. The grid
 //! backend ([`parn_phys::GridGainModel`] + far-field aggregation in the
-//! SINR tracker) keeps memory O(M) and lets the same scheme run at 10⁵
-//! stations with the collision-freedom invariant intact.
+//! SINR tracker) keeps memory O(M) and lets the same scheme run at
+//! 10⁵–10⁶ stations with the collision-freedom invariant intact.
 //!
 //! Each configuration runs in its *own subprocess* so peak RSS (VmHWM)
 //! is measured per configuration, not accumulated across them:
 //!
 //! * no args — driver mode: spawns itself with `--one n backend` for
 //!   the whole sweep and prints a result table;
-//! * `--one <n> <dense|grid|grid-far>` — run one configuration and
-//!   print a single result line.
+//! * `--one <n> <dense|grid|grid-far> [threads]` — run one configuration
+//!   and print a single result line;
+//! * `--determinism <n>` — run `grid-far` at `n` with 1, 2 and 8 sweep
+//!   threads into throwaway artifact dirs, assert the metrics JSON is
+//!   byte-identical across thread counts (the stable-reduction-order
+//!   guarantee), and assert the far-field snapshot cache hit rate stays
+//!   ≥ 50% (the per-cell invalidation fix can't silently regress).
 //!
 //! The scale runs use the single-hop regime ([`DestPolicy::Neighbors`]
 //! with [`RouteMode::OneHop`]) — O(E) routing state — with a short
 //! measured window; the point is memory and wall-clock scaling plus the
 //! zero-collision invariant, not long-run throughput statistics.
 
-use parn_bench::report::{peak_rss_kb, Reporter, Run};
+use parn_bench::report::{peak_rss_kb, read_artifact, Reporter, Run};
 use parn_core::{DestPolicy, FarFieldConfig, NetConfig, Network, PhyBackend, RouteMode};
-use parn_sim::Duration;
+use parn_sim::{Duration, Json};
 use std::time::Instant;
 
 fn backend_from_name(name: &str) -> PhyBackend {
@@ -36,9 +41,10 @@ fn backend_from_name(name: &str) -> PhyBackend {
     }
 }
 
-fn scale_config(n: usize, backend: PhyBackend) -> NetConfig {
+fn scale_config(n: usize, backend: PhyBackend, threads: usize) -> NetConfig {
     let mut cfg = NetConfig::paper_default(n, 42);
     cfg.phy_backend = backend;
+    cfg.threads = threads;
     // Single-hop regime: O(E) routing state instead of the O(M²)
     // all-pairs table, and destinations drawn among routing neighbours.
     cfg.route_mode = RouteMode::OneHop;
@@ -49,18 +55,23 @@ fn scale_config(n: usize, backend: PhyBackend) -> NetConfig {
     cfg
 }
 
-fn run_one(n: usize, backend_name: &str) {
-    let cfg = scale_config(n, backend_from_name(backend_name));
+fn run_one(n: usize, backend_name: &str, threads: usize) {
+    let cfg = scale_config(n, backend_from_name(backend_name), threads);
     parn_sim::obs::reset();
     let start = Instant::now();
     let m = Network::run(cfg.clone());
     let wall = start.elapsed().as_secs_f64();
     let rss_mb = peak_rss_kb().map_or(f64::NAN, |kb| kb as f64 / 1024.0);
+    let threads_suffix = if threads > 1 {
+        format!(" threads={threads}")
+    } else {
+        String::new()
+    };
     // The driver truncated the artifact; each subprocess appends its line
     // (peak RSS in provenance is then per-configuration, the point of the
     // subprocess split).
     Reporter::append("scale").record(&Run {
-        label: format!("n={n} backend={backend_name}"),
+        label: format!("n={n} backend={backend_name}{threads_suffix}"),
         config: cfg.to_json(),
         metrics: m.to_json(),
         wall_s: wall,
@@ -77,44 +88,113 @@ fn run_one(n: usize, backend_name: &str) {
         m.summary()
     );
     println!(
-        "n={n} backend={backend_name} wall_s={wall:.2} peak_rss_mb={rss_mb:.1} \
-         delivered={} collisions={} violations={}",
+        "n={n} backend={backend_name}{threads_suffix} wall_s={wall:.2} \
+         peak_rss_mb={rss_mb:.1} delivered={} collisions={} violations={}",
         m.delivered,
         m.collision_losses(),
         m.schedule_violations
     );
 }
 
-fn drive(sweep: &[(usize, &str)]) {
+fn spawn_one(n: usize, backend: &str, threads: usize, bench_dir: Option<&std::path::Path>) {
     let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = std::process::Command::new(&exe);
+    cmd.args(["--one", &n.to_string(), backend, &threads.to_string()]);
+    if let Some(dir) = bench_dir {
+        cmd.env("PARN_BENCH_DIR", dir);
+    }
+    let status = cmd.status().expect("spawn subprocess");
+    assert!(
+        status.success(),
+        "n={n} backend={backend} threads={threads} failed: {status}"
+    );
+}
+
+fn drive(sweep: &[(usize, &str, usize)]) {
     let reporter = Reporter::create("scale"); // truncate; children append
     println!("# E6: wall-clock and peak RSS, dense vs spatial index");
     println!("# artifact: {}", reporter.path().display());
     println!("# (each line is an independent subprocess; RSS is per-configuration)\n");
-    for &(n, backend) in sweep {
-        let status = std::process::Command::new(&exe)
-            .args(["--one", &n.to_string(), backend])
-            .status()
-            .expect("spawn subprocess");
-        assert!(status.success(), "n={n} backend={backend} failed: {status}");
+    for &(n, backend, threads) in sweep {
+        spawn_one(n, backend, threads, None);
     }
     println!("\n# dense at n=10^5 is omitted: the matrix alone is ~80 GB (8 B x 10^10).");
+}
+
+/// Counter value from a run record, defaulting to 0 when absent.
+fn counter_of(record: &Json, name: &str) -> u64 {
+    match record.get("counters").and_then(|c| c.get(name)) {
+        Some(Json::UInt(v)) => *v,
+        _ => 0,
+    }
+}
+
+/// The determinism matrix: same seed, `grid-far`, threads 1/2/8 → the
+/// metrics JSON must match byte-for-byte, and the far cache must hit.
+fn determinism(n: usize) {
+    let base = std::env::temp_dir().join(format!("parn_determinism_{}", std::process::id()));
+    let mut metrics_by_threads: Vec<(usize, String, Json)> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let dir = base.join(format!("t{threads}"));
+        std::fs::create_dir_all(&dir).expect("create determinism dir");
+        let artifact = dir.join("BENCH_scale.json");
+        let _ = std::fs::remove_file(&artifact);
+        spawn_one(n, "grid-far", threads, Some(&dir));
+        let records = read_artifact(&artifact);
+        assert_eq!(records.len(), 1, "expected one artifact line");
+        let metrics = records[0].get("metrics").expect("metrics field").clone();
+        metrics_by_threads.push((threads, metrics.to_string(), records[0].clone()));
+    }
+    let (_, reference, baseline) = &metrics_by_threads[0];
+    for (threads, metrics, _) in &metrics_by_threads[1..] {
+        assert_eq!(
+            metrics, reference,
+            "metrics diverged between threads=1 and threads={threads}: \
+             the sweep reduction order is no longer stable"
+        );
+    }
+    // Hit-rate floor, checked on the single-threaded child (its counters
+    // are not split across per-thread caches): the per-cell epoch fix
+    // must keep the snapshot cache alive under churn.
+    let hits = counter_of(baseline, "phys.far_cache.hit");
+    let recomputes = counter_of(baseline, "phys.far_cache.recompute");
+    let rate = hits as f64 / (hits + recomputes).max(1) as f64;
+    assert!(
+        rate >= 0.5,
+        "far-cache hit rate regressed: {hits} hits / {recomputes} recomputes = {rate:.3} < 0.5"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    println!(
+        "determinism OK at n={n}: metrics byte-identical across threads 1/2/8, \
+         far-cache hit rate {rate:.3}"
+    );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
-        ["--one", n, backend] => run_one(n.parse().expect("n"), backend),
+        ["--one", n, backend] => run_one(n.parse().expect("n"), backend, 1),
+        ["--one", n, backend, threads] => run_one(
+            n.parse().expect("n"),
+            backend,
+            threads.parse().expect("threads"),
+        ),
+        ["--determinism", n] => determinism(n.parse().expect("n")),
         // `cargo test` passes `--test`-style flags to bins it never runs;
         // anything other than `--one` gets the default sweep. A smaller
         // sweep keeps smoke invocations (`--quick`) under a minute.
-        ["--quick"] => drive(&[(1_000, "dense"), (1_000, "grid"), (1_000, "grid-far")]),
+        ["--quick"] => drive(&[
+            (1_000, "dense", 1),
+            (1_000, "grid", 1),
+            (1_000, "grid-far", 1),
+        ]),
         _ => drive(&[
-            (1_000, "dense"),
-            (1_000, "grid-far"),
-            (10_000, "dense"),
-            (10_000, "grid-far"),
-            (100_000, "grid-far"),
+            (1_000, "dense", 1),
+            (1_000, "grid-far", 1),
+            (10_000, "dense", 1),
+            (10_000, "grid-far", 1),
+            (100_000, "grid-far", 1),
+            (1_000_000, "grid-far", 2),
         ]),
     }
 }

@@ -54,6 +54,17 @@ pub fn artifact_dir() -> PathBuf {
     }
 }
 
+/// Parse a JSONL artifact back into its per-run records — the driver-side
+/// inverse of [`Reporter::record`], for modes that compare child runs
+/// (e.g. `exp_scale --determinism`).
+pub fn read_artifact(path: &std::path::Path) -> Vec<Json> {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("parse artifact line: {e:?}")))
+        .collect()
+}
+
 /// One run's inputs to [`Reporter::record`].
 pub struct Run {
     /// Human-readable run label within the experiment

@@ -246,6 +246,10 @@ pub struct NetConfig {
     /// across its windows — the no-head-of-line-blocking behaviour that
     /// lets §7.2's duty cycles approach 50%.
     pub max_outstanding_plans: usize,
+    /// Worker threads for the far-field SINR sweep (1 = fully inline).
+    /// Results are bit-identical at any value — shards merge in a fixed
+    /// cell-index order — so this is purely a wall-clock knob.
+    pub threads: usize,
     /// PHY gain backend (dense reference matrix or spatial index).
     pub phy_backend: PhyBackend,
     /// Routing-table construction mode.
@@ -306,6 +310,7 @@ impl NetConfig {
             max_retries: 10,
             packet_divisor: 4,
             max_outstanding_plans: 8,
+            threads: 1,
             phy_backend: PhyBackend::Dense,
             route_mode: RouteMode::Centralized,
             dv: DvConfig::paper_default(),
@@ -466,6 +471,7 @@ impl NetConfig {
             ("max_retries", u64::from(self.max_retries).into()),
             ("packet_divisor", self.packet_divisor.into()),
             ("max_outstanding_plans", self.max_outstanding_plans.into()),
+            ("threads", self.threads.into()),
             ("phy_backend", phy_backend),
             ("route_mode", route_mode.into()),
             ("dv", self.dv.to_json()),

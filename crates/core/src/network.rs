@@ -263,6 +263,9 @@ impl Network {
         {
             tracker = tracker.with_far_field(ff.near_radius_factor * reach, ff.tolerance);
         }
+        if cfg.threads > 1 {
+            tracker = tracker.with_threads(cfg.threads);
+        }
 
         let threshold = cfg.sinr_threshold();
         let power = match cfg.fixed_power {

@@ -15,7 +15,8 @@ use crate::geom::Point;
 use crate::grid::GridIndex;
 use crate::propagation::Propagation;
 use crate::units::Gain;
-use std::sync::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Pairwise power gains between stations, plus the neighbour queries the
 /// rest of the workspace needs. Receiver-first indexing throughout
@@ -88,10 +89,32 @@ impl GainModel for GainMatrix {
     }
 }
 
-/// Number of slots in the direct-mapped gain cache. At 16 bytes per slot
-/// this is 1 MiB — small next to the simulator's event state, and enough
-/// to keep the hot rx↔neighbour pairs of a 10⁵-station run resident.
+/// Number of slots in the direct-mapped gain cache. At 24 bytes per slot
+/// this is 1.5 MiB **per thread** — small next to the simulator's event
+/// state, and enough to keep the hot rx↔neighbour pairs of a 10⁵-station
+/// run resident.
 const CACHE_SLOTS: usize = 1 << 16;
+
+/// Monotone id disambiguating [`GridGainModel`] instances in the shared
+/// per-thread cache (tests build many models per process, and a process may
+/// also run several networks back to back).
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread direct-mapped cache of `(instance, key, gain)`.
+    ///
+    /// The cache used to be a process-wide `Mutex<Vec<_>>` inside each
+    /// `GridGainModel`; that lock sat directly on the SINR hot path and
+    /// would serialise the cell-sharded sweep. A thread-local cache needs no
+    /// locking, and because every entry stores the *exact* recomputed gain,
+    /// hit/miss patterns can never change a returned float — runs stay
+    /// bit-identical at any thread count (only the `phys.gain_cache.*`
+    /// counters vary). The shard workers live in a persistent
+    /// [`parn_sim::pool::WorkerPool`], so their caches stay warm across
+    /// sweeps. Allocation is lazy: threads that never query gains pay
+    /// nothing.
+    static GAIN_CACHE: RefCell<Vec<(u64, u64, f64)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Spatially indexed gain backend: O(M) memory, on-demand gains.
 ///
@@ -104,8 +127,11 @@ pub struct GridGainModel {
     positions: Vec<Point>,
     grid: GridIndex,
     model: Box<dyn Propagation + Send + Sync>,
-    /// Direct-mapped cache of `(key, gain)`; key is `rx << 32 | tx`.
-    cache: Mutex<Vec<(u64, f64)>>,
+    /// This model's id in the per-thread [`struct@GAIN_CACHE`].
+    instance: u64,
+    /// Whether `model` is reciprocal; symmetric models share one cache slot
+    /// per unordered pair (see [`GainModel::gain`]).
+    symmetric: bool,
 }
 
 impl std::fmt::Debug for GridGainModel {
@@ -125,11 +151,13 @@ impl GridGainModel {
             positions.len() < (1 << 32),
             "gain-cache keys pack two 32-bit station ids"
         );
+        let symmetric = model.is_symmetric();
         GridGainModel {
             positions: positions.to_vec(),
             grid: GridIndex::build(positions),
             model,
-            cache: Mutex::new(vec![(u64::MAX, 0.0); CACHE_SLOTS]),
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            symmetric,
         }
     }
 
@@ -169,17 +197,32 @@ impl GainModel for GridGainModel {
         if rx == tx {
             return Gain::ZERO; // match the dense diagonal convention
         }
-        let key = ((rx as u64) << 32) | tx as u64;
-        let slot = (mix64(key) as usize) & (CACHE_SLOTS - 1);
-        let mut cache = self.cache.lock().unwrap();
-        if cache[slot].0 == key {
-            parn_sim::counter_inc!("phys.gain_cache.hit");
-            return Gain(cache[slot].1);
-        }
-        parn_sim::counter_inc!("phys.gain_cache.miss");
-        let v = self.compute_gain(rx, tx);
-        cache[slot] = (key, v);
-        Gain(v)
+        // Reciprocal models guarantee g(rx, tx) == g(tx, rx) *exactly*
+        // (`Propagation::is_symmetric`), so both orderings canonicalize to
+        // one key — the same unordered-pair fix `GainMatrix::build` got —
+        // instead of computing and caching every pair twice.
+        let key = if self.symmetric && tx < rx {
+            ((tx as u64) << 32) | rx as u64
+        } else {
+            ((rx as u64) << 32) | tx as u64
+        };
+        let slot = (mix64(key ^ self.instance.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize)
+            & (CACHE_SLOTS - 1);
+        GAIN_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.is_empty() {
+                cache.resize(CACHE_SLOTS, (0, 0, 0.0));
+            }
+            let entry = &mut cache[slot];
+            if entry.0 == self.instance && entry.1 == key {
+                parn_sim::counter_inc!("phys.gain_cache.hit");
+                return Gain(entry.2);
+            }
+            parn_sim::counter_inc!("phys.gain_cache.miss");
+            let v = self.compute_gain(rx, tx);
+            *entry = (self.instance, key, v);
+            Gain(v)
+        })
     }
 
     fn position(&self, id: StationId) -> Point {
@@ -356,6 +399,64 @@ mod tests {
         let grid = GridGainModel::new(&pts, Box::new(FreeSpace::unit()));
         assert_eq!(grid.strongest_neighbors(0, 3), vec![1, 2]);
         assert_eq!(grid.gain(0, 0), Gain::ZERO);
+    }
+
+    #[test]
+    fn symmetric_models_share_one_cache_slot_per_unordered_pair() {
+        // Counters are process-global and tests run in parallel, so only
+        // lower bounds on deltas are meaningful: other tests add hits but
+        // never subtract.
+        let pts = disk(64, 300.0, 7);
+        let grid = GridGainModel::new(&pts, Box::new(FreeSpace::unit()));
+        let hits = parn_sim::obs::counter("phys.gain_cache.hit");
+        for rx in 0..pts.len() {
+            for tx in 0..pts.len() {
+                grid.gain(rx, tx); // warm every ordered pair once
+            }
+        }
+        let before = hits.load(Ordering::Relaxed);
+        for rx in 0..pts.len() {
+            for tx in 0..rx {
+                assert_eq!(grid.gain(rx, tx), grid.gain(tx, rx), "({rx},{tx})");
+            }
+        }
+        let pairs = (pts.len() * (pts.len() - 1)) as u64;
+        // Every ordered pair was warmed, the reversed orders canonicalize to
+        // the same slots, and 64·63 pairs cannot self-conflict much in 2¹⁶
+        // slots — so nearly all of the `pairs` queries above must be hits.
+        assert!(
+            hits.load(Ordering::Relaxed) - before >= pairs * 9 / 10,
+            "symmetric canonicalization is not producing cache hits"
+        );
+    }
+
+    #[test]
+    fn asymmetric_models_keep_ordered_keys() {
+        // A directional model must NOT share slots between (rx, tx) and
+        // (tx, rx).
+        #[derive(Debug)]
+        struct EastwardOnly;
+        impl Propagation for EastwardOnly {
+            fn power_gain(&self, from: Point, to: Point) -> Gain {
+                if to.x >= from.x {
+                    Gain(1.0)
+                } else {
+                    Gain(0.25)
+                }
+            }
+            fn gain_at_distance(&self, _r: f64) -> Gain {
+                Gain(1.0)
+            }
+            fn is_symmetric(&self) -> bool {
+                false
+            }
+        }
+        let pts = vec![Point::ORIGIN, Point::new(10.0, 0.0)];
+        let grid = GridGainModel::new(&pts, Box::new(EastwardOnly));
+        for _ in 0..3 {
+            assert_eq!(grid.gain(1, 0).value(), 1.0); // 0 → 1 heads east
+            assert_eq!(grid.gain(0, 1).value(), 0.25); // 1 → 0 heads west
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::gainmodel::GainModel;
 use crate::gains::StationId;
 use crate::geom::Point;
 use crate::units::PowerW;
-use std::cell::RefCell;
+use parn_sim::pool::WorkerPool;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -105,10 +105,35 @@ struct ActiveReception {
 /// model the aggregated far term is within a relative `≈ 2δ/(R−δ)` of the
 /// exact sum — with the paper's `R ≈ reach = 2/√ρ` and cell `≈ 1/√ρ`
 /// (`δ ≈ 0.71/√ρ`) that is under 1.1 dB on the *far tail only*, far
-/// inside the 5 dB β margin (§3.4). A per-receiver snapshot cache avoids
-/// recomputing the tail on every event: a snapshot is reused while the
-/// total absolute power churn since it was taken, times the worst-case
-/// far gain `g(R)`, stays below `tolerance` of the snapshot value.
+/// inside the 5 dB β margin (§3.4).
+///
+/// **Snapshot invalidation is per cell, not global.** A per-receiver
+/// snapshot cache avoids recomputing the tail on every event. Validation
+/// used to compare against a single network-wide drift scalar times the
+/// worst-case far gain `g(R)` — which let a transmission kilometres away
+/// invalidate every receiver's tail and drove the cache hit rate to ~1%
+/// at 10⁵ stations. Instead, each transmission start/end now *pushes* its
+/// exact per-cell far-tail delta, signed, into the snapshot of every
+/// receiver with an in-flight reception: the cell-centre aggregate gain
+/// for wholly-far cells, the exact pairwise gain for boundary cells, and
+/// zero for receivers that see the transmitter as near (their running sums
+/// track it exactly). Because the push uses the *same accounting* as the
+/// from-scratch tail sum ([`SinrTracker::far_contribution_of`] is shared
+/// by both), the snapshot `value` is maintained incrementally — it *is*
+/// the current tail, up to floating-point rounding — so a live receiver's
+/// snapshot essentially never needs a recompute. What the tolerance budget
+/// gates instead is *re-evaluation*: a monotone `rise` accumulator sums
+/// the upward pushes since this receiver's receptions last re-evaluated,
+/// and while `rise ≤ tolerance · (value + thermal)` the SINR checks are
+/// skipped — the per-cell drift epoch algebra
+/// (`rise = Σ_cells Δdrift_cell⁺ · bound(rx, cell)`), evaluated
+/// incrementally. Receivers with no in-flight reception are not pushed
+/// to; the events they miss are bounded by the global-drift gap
+/// (`(total_drift − global_at) · g_near`) — the old conservative rule
+/// confined to the cold path where it belongs — and a `churn` turnover
+/// total guards the incremental value against accumulated rounding. See
+/// DESIGN.md §"Far-field invalidation & sharding" for the stale-bound
+/// proof.
 #[derive(Clone, Debug)]
 struct FarField {
     near_radius: f64,
@@ -120,12 +145,26 @@ struct FarField {
     /// per receiver at evaluation time).
     cell_power: BTreeMap<usize, CellAgg>,
     /// Sum of |power| of every transmission start/end since construction;
-    /// drives snapshot invalidation.
+    /// bounds the events a snapshot was not live for (see `FarSnapshot`).
     total_drift: f64,
     /// Active transmission ids per station, for range-bounded near sums.
     tx_of_station: BTreeMap<StationId, Vec<u64>>,
-    /// Far-tail snapshots per receiving station.
-    cache: RefCell<BTreeMap<StationId, FarSnapshot>>,
+    /// Positions of each active transmission in `cell_power[cell].txs`
+    /// and `tx_of_station[station]`, so TX teardown is O(1) swap-removes
+    /// instead of O(active) `retain` scans.
+    tx_slot: BTreeMap<u64, TxSlot>,
+    /// Far-tail snapshots of *dormant* receivers (no reception in
+    /// flight). A receiver's snapshot moves into its [`ActiveRx`] slot
+    /// while it has receptions and spills back here when the last one
+    /// ends, so the sweep hot path never touches this map.
+    cache: BTreeMap<StationId, FarSnapshot>,
+    /// Receivers with in-flight receptions, kept sorted by
+    /// `(cell, receiver)`. This dense vector is the sweep's work list and
+    /// shard partition: walking it in order *is* cell-index order, so the
+    /// reduction order is fixed regardless of thread count, and each
+    /// touch is pure sequential reads (position, rids and snapshot are
+    /// co-located — no map lookups on the hot path).
+    active_rx: Vec<ActiveRx>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -134,11 +173,78 @@ struct CellAgg {
     txs: Vec<u64>,
 }
 
+/// Where an active transmission sits inside the teardown-relevant vectors.
+#[derive(Clone, Copy, Debug)]
+struct TxSlot {
+    cell: usize,
+    cell_pos: usize,
+    station_pos: usize,
+}
+
+/// One receiver with in-flight receptions (far mode only): an entry in
+/// the sweep working set, ordered by `(cell, rx)`.
+#[derive(Clone, Debug)]
+struct ActiveRx {
+    cell: usize,
+    rx: StationId,
+    /// Receiver position, cached so the sweep's distance tests read it
+    /// inline instead of through the gain model.
+    pos: Point,
+    rids: Vec<u64>,
+    /// The receiver's far snapshot while it is live (dormant snapshots
+    /// live in `FarField::cache`).
+    snap: Option<FarSnapshot>,
+}
+
+/// Cached far tail for one receiver.
+///
+/// `value` is maintained incrementally: every sweep the receiver is live
+/// for pushes its exact signed far-tail delta, so `value` tracks a
+/// from-scratch recompute up to floating-point rounding. `rise` is the
+/// monotone sum of *upward* pushes since this receiver's receptions last
+/// re-evaluated — the eval-skip budget. `churn` is the total |delta|
+/// turnover since the last full recompute and only guards against
+/// accumulated rounding. `global_at` is `total_drift` as of the last push
+/// (or recompute), so `(total_drift − global_at) · g_near` bounds
+/// everything that happened while the receiver had no reception in flight.
 #[derive(Clone, Copy, Debug)]
 struct FarSnapshot {
     value: f64,
-    drift_at: f64,
+    rise: f64,
+    churn: f64,
+    global_at: f64,
 }
+
+impl FarSnapshot {
+    fn fresh(value: f64, total_drift: f64) -> FarSnapshot {
+        FarSnapshot {
+            value,
+            rise: 0.0,
+            churn: 0.0,
+            global_at: total_drift,
+        }
+    }
+}
+
+/// Relative epsilon for the teardown clamp: when subtracting a
+/// transmission's contribution drives a running interference sum negative
+/// by more than this fraction of the subtracted delta, the drift is real
+/// (not a last-bit rounding artifact) and the sum is rebuilt exactly from
+/// the active set.
+const RESUM_REL_EPS: f64 = 1e-12;
+
+/// Turnover guard for incrementally maintained far snapshots: recompute
+/// from scratch once accumulated |delta| churn exceeds this multiple of
+/// the current value. Each push adds ≤ half-ulp relative rounding error
+/// (~1.1e-16 of the operands), so at 10⁹× turnover the worst-case
+/// accumulated error is still ~1e-7 of the value — three decades inside
+/// the 5% tolerance budget.
+const CHURN_REFRESH_FACTOR: f64 = 1e9;
+
+/// Minimum sweep work list (receivers with in-flight receptions) before a
+/// sweep is dispatched to the worker pool; below this the per-job channel
+/// overhead outweighs the parallelism.
+const PAR_MIN_WORK: usize = 96;
 
 /// The interference bookkeeper.
 #[derive(Clone, Debug)]
@@ -154,6 +260,58 @@ pub struct SinrTracker {
     sic_depth: usize,
     /// Far-field aggregation state (`None` = exact mode).
     far: Option<FarField>,
+    /// Parallelism for the far-field sweep (1 = inline).
+    threads: usize,
+    /// Persistent shard workers (`threads − 1` of them); `None` inline.
+    pool: Option<Arc<WorkerPool>>,
+}
+
+/// Immutable description of one sweep (a TX start or end) handed to the
+/// shards.
+struct SweepParams {
+    is_start: bool,
+    tx_id: u64,
+    tx_station: StationId,
+    txp: Point,
+    /// Centre of the transmitter's grid cell, hoisted out of the
+    /// per-receiver loop (it is the same for every receiver in a sweep).
+    tx_cell_center: Point,
+    power: f64,
+    /// `FarField::total_drift` *before* this event's bump, so shards can
+    /// bound the events a snapshot was not live for.
+    drift_before: f64,
+}
+
+/// What one shard decided for one receiver; applied by the merge step.
+/// Updates are index-aligned with `FarField::active_rx` (the merge walks
+/// both in the same work-list order).
+struct RxUpdate {
+    snap: SnapUpdate,
+    rids: Vec<RidUpdate>,
+}
+
+enum SnapUpdate {
+    /// No snapshot to touch (receiver had none and no value was needed).
+    Keep,
+    /// Store this snapshot (pushed-forward or freshly recomputed — shards
+    /// construct the complete post-event state either way).
+    Set(FarSnapshot),
+}
+
+struct RidUpdate {
+    rid: u64,
+    /// Updated near-interference running sum (`None` = unchanged).
+    new_interference: Option<f64>,
+    clamped: bool,
+    resummed: bool,
+    eval: Option<EvalUpdate>,
+}
+
+struct EvalUpdate {
+    sinr: f64,
+    newly_failed: bool,
+    blame: Vec<Blame>,
+    interference_at_failure: f64,
 }
 
 impl SinrTracker {
@@ -175,7 +333,38 @@ impl SinrTracker {
             next_rx: 0,
             sic_depth: 0,
             far: None,
+            threads: 1,
+            pool: None,
         }
+    }
+
+    /// Run far-field sweeps on `threads` lanes (the calling thread plus
+    /// `threads − 1` persistent workers). Results are **bit-identical** at
+    /// any thread count: shards only read shared state, every per-receiver
+    /// decision is independent, and the merge applies shard outputs in
+    /// cell-index order regardless of how they were partitioned. Only the
+    /// far-field sweep parallelizes; `threads = 1` (the default) keeps
+    /// everything inline. No effect on the dense backend.
+    /// Lanes are capped at the machine's available parallelism: on an
+    /// oversubscribed or single-core host extra lanes only add channel
+    /// and wakeup overhead per sweep, and by the guarantee above capping
+    /// them cannot change any result.
+    pub fn with_threads(self, threads: usize) -> SinrTracker {
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        self.with_lanes(threads.max(1).min(hw))
+    }
+
+    /// As [`Self::with_threads`] but without the hardware cap, so tests
+    /// exercise the pooled sweep path even on a single-core machine.
+    #[cfg(test)]
+    fn with_threads_unclamped(self, threads: usize) -> SinrTracker {
+        self.with_lanes(threads.max(1))
+    }
+
+    fn with_lanes(mut self, lanes: usize) -> SinrTracker {
+        self.threads = lanes;
+        self.pool = (lanes > 1).then(|| Arc::new(WorkerPool::new(lanes - 1)));
+        self
     }
 
     /// Enable successive interference cancellation: receivers may decode
@@ -222,7 +411,9 @@ impl SinrTracker {
             cell_power: BTreeMap::new(),
             total_drift: 0.0,
             tx_of_station: BTreeMap::new(),
-            cache: RefCell::new(BTreeMap::new()),
+            tx_slot: BTreeMap::new(),
+            cache: BTreeMap::new(),
+            active_rx: Vec::new(),
         });
         self
     }
@@ -300,54 +491,167 @@ impl SinrTracker {
     /// boundary cells), so a dominant excluded source cancels cleanly
     /// instead of dragging the whole tail to the zero clamp.
     fn far_term_at(&self, rx: StationId, exclude: Option<TxId>) -> f64 {
-        let far = self.far.as_ref().expect("far term only in far mode");
-        let mut v = self.far_value(rx);
+        let v = self.far_value_ro(rx);
+        self.far_term_from(v, rx, exclude)
+    }
+
+    /// As [`Self::far_term_at`], but caches a recomputed snapshot.
+    fn far_term_at_mut(&mut self, rx: StationId, exclude: Option<TxId>) -> f64 {
+        let v = self.far_value_mut(rx);
+        self.far_term_from(v, rx, exclude)
+    }
+
+    /// Subtract `exclude`'s aggregate-counted contribution from far tail
+    /// value `v` (zero subtraction when the excluded source is near).
+    fn far_term_from(&self, v: f64, rx: StationId, exclude: Option<TxId>) -> f64 {
+        let mut v = v;
         if let Some(TxId(id)) = exclude {
             if let Some(tx) = self.active_tx.get(&id) {
-                let rxp = self.position(rx);
-                let txp = self.position(tx.station);
-                if txp.distance(rxp) > far.near_radius {
-                    let grid_model = self
-                        .gains
-                        .as_grid()
-                        .expect("far-field requires grid backend");
-                    let grid = grid_model.grid();
-                    let d = rxp.distance(grid.cell_center(grid.cell_index(txp)));
-                    let gain = if d - grid.half_diagonal() > far.near_radius {
-                        grid_model.propagation().gain_at_distance(d).value()
-                    } else {
-                        self.gains.gain(rx, tx.station).value()
-                    };
-                    v -= tx.power.value() * gain;
-                }
+                v -= self.far_contribution_of(self.position(rx), rx, tx.station, tx.power.value());
             }
         }
         v.max(0.0)
     }
 
-    /// Cached far tail for `rx`; recomputes when accumulated power churn
-    /// could have moved the value by more than the tolerance.
-    fn far_value(&self, rx: StationId) -> f64 {
+    /// How the far aggregate counts a transmission by `tx_station` at
+    /// `power` toward `rx`'s tail: zero when near, the cell-centre
+    /// aggregate gain for a wholly-far cell, the exact pairwise gain for a
+    /// boundary cell. This one function defines both the exclusion
+    /// subtraction and the per-event churn push, so both always mirror the
+    /// aggregate's own accounting in `recompute_far`.
+    fn far_contribution_of(
+        &self,
+        rxp: Point,
+        rx: StationId,
+        tx_station: StationId,
+        power: f64,
+    ) -> f64 {
+        let txp = self.position(tx_station);
+        let grid = self
+            .gains
+            .as_grid()
+            .expect("far-field requires grid backend")
+            .grid();
+        let center = grid.cell_center(grid.cell_index(txp));
+        self.far_contribution_inner(rxp, rx, tx_station, power, txp.distance(rxp), center)
+    }
+
+    /// [`Self::far_contribution_of`] with the receiver→transmitter
+    /// distance and the transmitter's cell centre precomputed — the sweep
+    /// hoists the centre out of its per-receiver loop and reuses the
+    /// distance from its own near test.
+    fn far_contribution_inner(
+        &self,
+        rxp: Point,
+        rx: StationId,
+        tx_station: StationId,
+        power: f64,
+        dist_to_tx: f64,
+        tx_cell_center: Point,
+    ) -> f64 {
+        let far = self
+            .far
+            .as_ref()
+            .expect("far contribution only in far mode");
+        if dist_to_tx <= far.near_radius {
+            return 0.0;
+        }
+        let grid_model = self
+            .gains
+            .as_grid()
+            .expect("far-field requires grid backend");
+        let d = rxp.distance(tx_cell_center);
+        let gain = if d - grid_model.grid().half_diagonal() > far.near_radius {
+            grid_model.propagation().gain_at_distance(d).value()
+        } else {
+            self.gains.gain(rx, tx_station).value()
+        };
+        power * gain
+    }
+
+    /// Whether `s.value` still tracks the true far tail within tolerance:
+    /// the receiver missed at most a tolerance-budget's worth of events
+    /// while dormant (the gap term), the incremental value hasn't seen
+    /// enough turnover for rounding to matter (the churn guard), and the
+    /// value hasn't been pushed below zero by cancellation.
+    fn snapshot_trusted(far: &FarField, s: &FarSnapshot, thermal: f64) -> bool {
+        let budget = s.value + thermal;
+        s.value >= 0.0
+            && (far.total_drift - s.global_at) * far.g_near <= far.tolerance * budget
+            && s.churn <= CHURN_REFRESH_FACTOR * budget
+    }
+
+    /// Index of `rx` in the active working set, if it has receptions in
+    /// flight (binary search on the `(cell, rx)` sort key).
+    fn active_rx_idx(&self, far: &FarField, rx: StationId) -> Option<usize> {
+        let cell = self
+            .gains
+            .as_grid()
+            .expect("far-field requires grid backend")
+            .grid()
+            .cell_index(self.position(rx));
+        far.active_rx
+            .binary_search_by_key(&(cell, rx), |a| (a.cell, a.rx))
+            .ok()
+    }
+
+    /// `rx`'s current snapshot, wherever it lives (active slot while
+    /// receptions are in flight, the dormant cache otherwise).
+    fn snapshot_of(&self, far: &FarField, rx: StationId) -> Option<FarSnapshot> {
+        match self.active_rx_idx(far, rx) {
+            Some(i) => far.active_rx[i].snap,
+            None => far.cache.get(&rx).copied(),
+        }
+    }
+
+    /// Cached far tail for `rx` without touching the cache (used by the
+    /// `&self` query paths: carrier sense, `interference_at`,
+    /// `current_sinr`); recomputes — without storing — when the snapshot
+    /// can no longer be trusted.
+    fn far_value_ro(&self, rx: StationId) -> f64 {
         let far = self.far.as_ref().expect("far value only in far mode");
-        {
-            let cache = far.cache.borrow();
-            if let Some(s) = cache.get(&rx) {
-                let churn = (far.total_drift - s.drift_at) * far.g_near;
-                if churn <= far.tolerance * (s.value + self.thermal.value()) {
-                    parn_sim::counter_inc!("phys.far_cache.hit");
-                    return s.value;
-                }
+        if let Some(s) = self.snapshot_of(far, rx) {
+            if Self::snapshot_trusted(far, &s, self.thermal.value()) {
+                parn_sim::counter_inc!("phys.far_cache.hit");
+                return s.value;
+            }
+        }
+        parn_sim::counter_inc!("phys.far_cache.recompute");
+        self.recompute_far(rx)
+    }
+
+    /// Cached far tail for `rx`, storing a fresh snapshot on recompute.
+    /// A pending `rise` (evals owed to this receiver's receptions) is
+    /// preserved: this path re-evaluates at most one reception, so it must
+    /// not swallow the eval budget the sweep owes the others.
+    fn far_value_mut(&mut self, rx: StationId) -> f64 {
+        let far = self.far.as_ref().expect("far value only in far mode");
+        let active_idx = self.active_rx_idx(far, rx);
+        let old = match active_idx {
+            Some(i) => far.active_rx[i].snap,
+            None => far.cache.get(&rx).copied(),
+        };
+        if let Some(s) = &old {
+            if Self::snapshot_trusted(far, s, self.thermal.value()) {
+                parn_sim::counter_inc!("phys.far_cache.hit");
+                return s.value;
             }
         }
         parn_sim::counter_inc!("phys.far_cache.recompute");
         let v = self.recompute_far(rx);
-        far.cache.borrow_mut().insert(
-            rx,
-            FarSnapshot {
-                value: v,
-                drift_at: far.total_drift,
-            },
-        );
+        let far = self.far.as_mut().expect("far mode");
+        let snap = FarSnapshot {
+            value: v,
+            rise: old.map_or(0.0, |s| s.rise),
+            churn: 0.0,
+            global_at: far.total_drift,
+        };
+        match active_idx {
+            Some(i) => far.active_rx[i].snap = Some(snap),
+            None => {
+                far.cache.insert(rx, snap);
+            }
+        }
         v
     }
 
@@ -446,38 +750,40 @@ impl SinrTracker {
         );
         if self.far.is_some() {
             let txp = self.position(station);
-            let cell = self
+            let grid = self
                 .gains
                 .as_grid()
                 .expect("far-field requires grid backend")
-                .grid()
-                .cell_index(txp);
+                .grid();
+            let cell = grid.cell_index(txp);
+            let tx_cell_center = grid.cell_center(cell);
             let far = self.far.as_mut().expect("far mode");
+            let drift_before = far.total_drift;
             let agg = far.cell_power.entry(cell).or_default();
+            let cell_pos = agg.txs.len();
             agg.power += power.value();
             agg.txs.push(id);
             far.total_drift += power.value();
-            far.tx_of_station.entry(station).or_default().push(id);
-            // Exact delta only for receivers within the near radius; the
-            // far tail picks the rest up through the aggregate.
-            let radius = far.near_radius;
-            let deltas: Vec<(u64, PowerW)> = self
-                .receptions
-                .iter()
-                .filter(|(_, r)| self.position(r.rx).distance(txp) <= radius)
-                .map(|(&rid, r)| (rid, self.received_power(r.rx, station, power)))
-                .collect();
-            for (rid, d) in deltas {
-                self.receptions
-                    .get_mut(&rid)
-                    .expect("reception vanished")
-                    .interference += d;
-            }
-            // Every in-flight reception may have seen its far tail move.
-            let rids: Vec<u64> = self.receptions.keys().copied().collect();
-            for rid in rids {
-                self.reevaluate(rid);
-            }
+            let per_station = far.tx_of_station.entry(station).or_default();
+            let station_pos = per_station.len();
+            per_station.push(id);
+            far.tx_slot.insert(
+                id,
+                TxSlot {
+                    cell,
+                    cell_pos,
+                    station_pos,
+                },
+            );
+            self.far_sweep(SweepParams {
+                is_start: true,
+                tx_id: id,
+                tx_station: station,
+                txp,
+                tx_cell_center,
+                power: power.value(),
+                drift_before,
+            });
             return TxId(id);
         }
         let deltas: Vec<(u64, PowerW)> = self
@@ -501,48 +807,63 @@ impl SinrTracker {
             .active_tx
             .remove(&id.0)
             .expect("ending unknown transmission");
-        // Temporarily move the far-field state out so the grid lookups
-        // below can borrow `self` freely.
-        if let Some(mut far) = self.far.take() {
+        if self.far.is_some() {
             let txp = self.position(tx.station);
-            let cell = self
+            let grid = self
                 .gains
                 .as_grid()
                 .expect("far-field requires grid backend")
-                .grid()
-                .cell_index(txp);
+                .grid();
+            let tx_cell_center = grid.cell_center(grid.cell_index(txp));
+            let far = self.far.as_mut().expect("far mode");
+            let drift_before = far.total_drift;
+            // O(1) teardown: swap-remove at the recorded positions and fix
+            // up the slot of whichever transmission got moved into the gap
+            // (no O(active) retain scans in dense cells).
+            let slot = far.tx_slot.remove(&id.0).expect("tx slot vanished");
             let agg = far
                 .cell_power
-                .get_mut(&cell)
+                .get_mut(&slot.cell)
                 .expect("far cell entry vanished");
+            debug_assert_eq!(agg.txs[slot.cell_pos], id.0);
             agg.power -= tx.power.value();
-            agg.txs.retain(|&t| t != id.0);
+            let moved = *agg.txs.last().expect("cell tx list empty");
+            agg.txs.swap_remove(slot.cell_pos);
+            if moved != id.0 {
+                far.tx_slot
+                    .get_mut(&moved)
+                    .expect("moved tx slot vanished")
+                    .cell_pos = slot.cell_pos;
+            }
             if agg.txs.is_empty() {
-                far.cell_power.remove(&cell);
+                far.cell_power.remove(&slot.cell);
             }
             far.total_drift += tx.power.value();
-            if let Some(ids) = far.tx_of_station.get_mut(&tx.station) {
-                ids.retain(|&t| t != id.0);
-                if ids.is_empty() {
-                    far.tx_of_station.remove(&tx.station);
-                }
+            let per_station = far
+                .tx_of_station
+                .get_mut(&tx.station)
+                .expect("tx station entry vanished");
+            debug_assert_eq!(per_station[slot.station_pos], id.0);
+            let moved = *per_station.last().expect("station tx list empty");
+            per_station.swap_remove(slot.station_pos);
+            if moved != id.0 {
+                far.tx_slot
+                    .get_mut(&moved)
+                    .expect("moved tx slot vanished")
+                    .station_pos = slot.station_pos;
             }
-            let radius = far.near_radius;
-            self.far = Some(far);
-            let deltas: Vec<(u64, PowerW)> = self
-                .receptions
-                .iter()
-                .filter(|(_, r)| r.src_tx != id)
-                .filter(|(_, r)| self.position(r.rx).distance(txp) <= radius)
-                .map(|(&rid, r)| (rid, self.received_power(r.rx, tx.station, tx.power)))
-                .collect();
-            for (rid, d) in deltas {
-                let r = self.receptions.get_mut(&rid).expect("reception vanished");
-                r.interference -= d;
-                if r.interference.value() < 0.0 {
-                    r.interference = PowerW::ZERO;
-                }
+            if per_station.is_empty() {
+                far.tx_of_station.remove(&tx.station);
             }
+            self.far_sweep(SweepParams {
+                is_start: false,
+                tx_id: id.0,
+                tx_station: tx.station,
+                txp,
+                tx_cell_center,
+                power: tx.power.value(),
+                drift_before,
+            });
             return;
         }
         let deltas: Vec<(u64, PowerW)> = self
@@ -551,15 +872,31 @@ impl SinrTracker {
             .filter(|(_, r)| r.src_tx != id)
             .map(|(&rid, r)| (rid, self.received_power(r.rx, tx.station, tx.power)))
             .collect();
+        let mut resummations: Vec<(u64, StationId, TxId)> = Vec::new();
         for (rid, d) in deltas {
             let r = self.receptions.get_mut(&rid).expect("reception vanished");
             r.interference -= d;
             // Numerical guard: the running sum may drift a hair negative.
             if r.interference.value() < 0.0 {
-                r.interference = PowerW::ZERO;
+                parn_sim::counter_inc!("phys.interference.clamped");
+                if -r.interference.value() > RESUM_REL_EPS * d.value() {
+                    // The drift is orders above last-bit rounding — rebuild
+                    // the sum exactly instead of silently absorbing it.
+                    resummations.push((rid, r.rx, r.src_tx));
+                } else {
+                    r.interference = PowerW::ZERO;
+                }
             }
             // Interference only went down: no failure can be triggered, but
             // min_sinr bookkeeping stays consistent on the next update.
+        }
+        for (rid, rx, src) in resummations {
+            parn_sim::counter_inc!("phys.interference.resummed");
+            let exact = self.interference_at(rx, Some(src));
+            self.receptions
+                .get_mut(&rid)
+                .expect("reception vanished")
+                .interference = exact;
         }
     }
 
@@ -598,8 +935,71 @@ impl SinrTracker {
                 interference_at_failure: PowerW::ZERO,
             },
         );
+        let cell = self.far.is_some().then(|| {
+            self.gains
+                .as_grid()
+                .expect("far-field requires grid backend")
+                .grid()
+                .cell_index(self.position(rx))
+        });
+        if let (Some(cell), Some(far)) = (cell, self.far.as_mut()) {
+            match far
+                .active_rx
+                .binary_search_by_key(&(cell, rx), |a| (a.cell, a.rx))
+            {
+                Ok(i) => far.active_rx[i].rids.push(id),
+                Err(i) => {
+                    // First in-flight reception at this receiver: join the
+                    // sweep working set, adopting any dormant snapshot.
+                    let pos = self.gains.position(rx);
+                    far.active_rx.insert(
+                        i,
+                        ActiveRx {
+                            cell,
+                            rx,
+                            pos,
+                            rids: vec![id],
+                            snap: far.cache.remove(&rx),
+                        },
+                    );
+                }
+            }
+        }
         self.reevaluate(id);
         RxId(id)
+    }
+
+    /// Drop `rid` from the far-mode working set (no-op in dense mode).
+    /// The receiver's snapshot spills back to the dormant cache when its
+    /// last reception ends, so a later reception can adopt it if the
+    /// dormancy-gap guard still trusts it.
+    fn unregister_reception(&mut self, rid: u64, rx: StationId) {
+        if self.far.is_none() {
+            return;
+        }
+        let cell = self
+            .gains
+            .as_grid()
+            .expect("far-field requires grid backend")
+            .grid()
+            .cell_index(self.position(rx));
+        let far = self.far.as_mut().expect("far mode");
+        let Ok(i) = far
+            .active_rx
+            .binary_search_by_key(&(cell, rx), |a| (a.cell, a.rx))
+        else {
+            return;
+        };
+        let entry = &mut far.active_rx[i];
+        if let Some(pos) = entry.rids.iter().position(|&r| r == rid) {
+            entry.rids.swap_remove(pos);
+        }
+        if entry.rids.is_empty() {
+            if let Some(snap) = entry.snap {
+                far.cache.insert(rx, snap);
+            }
+            far.active_rx.remove(i);
+        }
     }
 
     /// Finish a reception and report its outcome.
@@ -610,6 +1010,7 @@ impl SinrTracker {
             .receptions
             .remove(&id.0)
             .expect("completing unknown reception");
+        self.unregister_reception(id.0, r.rx);
         ReceptionReport {
             rx: r.rx,
             src: r.src_station,
@@ -623,7 +1024,9 @@ impl SinrTracker {
     /// Abort a reception without a report (e.g. the simulation is tearing
     /// down).
     pub fn abort_reception(&mut self, id: RxId) {
-        self.receptions.remove(&id.0);
+        if let Some(r) = self.receptions.remove(&id.0) {
+            self.unregister_reception(id.0, r.rx);
+        }
     }
 
     /// Current SINR of a reception.
@@ -676,10 +1079,13 @@ impl SinrTracker {
             None
         };
         // In far mode the far tail is part of the denominator; compute it
-        // before taking the mutable borrow.
+        // (caching a fresh snapshot if stale) before the mutable borrow.
         let far_term = if self.far.is_some() {
-            let r = self.receptions.get(&rid).expect("unknown reception");
-            Some(self.far_term_at(r.rx, Some(r.src_tx)))
+            let (rx, src) = {
+                let r = self.receptions.get(&rid).expect("unknown reception");
+                (r.rx, r.src_tx)
+            };
+            Some(self.far_term_at_mut(rx, Some(src)))
         } else {
             None
         };
@@ -728,6 +1134,297 @@ impl SinrTracker {
             let r = self.receptions.get_mut(&rid).expect("unknown reception");
             r.interference_at_failure = r.interference + PowerW(far_term.unwrap_or(0.0));
             r.blame = blame;
+        }
+    }
+
+    /// One TX start/end in far mode. Aggregate bookkeeping has already
+    /// been applied by the caller; this walks every receiver with an
+    /// in-flight reception — in (cell-index, receiver-id) order — pushing
+    /// the event's exact per-cell churn into far snapshots, applying exact
+    /// near deltas, and re-evaluating only the receptions whose
+    /// denominator actually moved beyond tolerance.
+    ///
+    /// The walk is partitioned into contiguous shards of that same
+    /// cell-ordered work list. Shards read shared state only, every
+    /// per-receiver decision is independent of every other receiver, and
+    /// the merge applies outputs in work-list order — so results are
+    /// bit-identical whether shards run inline or on the worker pool, at
+    /// any thread count.
+    fn far_sweep(&mut self, p: SweepParams) {
+        let far = self.far.as_ref().expect("far sweep only in far mode");
+        if far.active_rx.is_empty() {
+            return;
+        }
+        parn_sim::counter_inc!("core.shard.sweeps");
+        parn_sim::time_scope!("phys.far_sweep");
+        let work = far.active_rx.as_slice();
+        let updates: Vec<RxUpdate> = match &self.pool {
+            Some(pool) if work.len() >= PAR_MIN_WORK => {
+                parn_sim::counter_inc!("core.shard.parallel");
+                let pool = Arc::clone(pool);
+                let shards = self.threads.min(work.len());
+                let chunk = work.len().div_ceil(shards);
+                let this = &*self;
+                let params = &p;
+                let jobs: Vec<_> = work
+                    .chunks(chunk)
+                    .map(|shard| move || this.sweep_shard(shard, params))
+                    .collect();
+                pool.run(jobs).into_iter().flatten().collect()
+            }
+            _ => self.sweep_shard(work, &p),
+        };
+        self.apply_sweep(updates);
+    }
+
+    fn sweep_shard(&self, shard: &[ActiveRx], p: &SweepParams) -> Vec<RxUpdate> {
+        shard.iter().map(|a| self.sweep_receiver(a, p)).collect()
+    }
+
+    /// Decide one receiver's fate for one sweep: its snapshot update, its
+    /// receptions' near-delta updates, and any re-evaluations. Pure reads;
+    /// the returned update is applied by [`Self::apply_sweep`].
+    fn sweep_receiver(&self, a: &ActiveRx, p: &SweepParams) -> RxUpdate {
+        let far = self.far.as_ref().expect("far mode");
+        let thermal = self.thermal.value();
+        let rx = a.rx;
+        let rxp = a.pos;
+        let dist_to_tx = rxp.distance(p.txp);
+        let near = dist_to_tx <= far.near_radius;
+        // The exact |delta| this event applied to rx's far tail — zero for
+        // near receivers, whose running sums track this transmitter
+        // exactly.
+        let tail_delta = if near {
+            0.0
+        } else {
+            self.far_contribution_inner(
+                rxp,
+                rx,
+                p.tx_station,
+                p.power,
+                dist_to_tx,
+                p.tx_cell_center,
+            )
+        };
+        // `total_drift` after this event's bump — both start and end bump
+        // by |power|, so shards can stamp `global_at` without mutable
+        // access.
+        let drift_after = p.drift_before + p.power;
+        let snap = a.snap.as_ref();
+        // Can the incrementally maintained value absorb this push, or is a
+        // recompute due? (Dormancy gap, rounding turnover, or the value
+        // being cancelled below zero by this very subtraction.)
+        let trusted = match snap {
+            Some(s) => {
+                let budget = s.value + thermal;
+                (p.drift_before - s.global_at) * far.g_near <= far.tolerance * budget
+                    && s.churn <= CHURN_REFRESH_FACTOR * budget
+                    && (p.is_start || s.value - tail_delta >= 0.0)
+            }
+            None => false,
+        };
+        let rid_list = &a.rids;
+        let mut rids: Vec<RidUpdate> = Vec::new();
+        if p.is_start {
+            // Push the signed delta forward, or recompute when the value
+            // can't be trusted; decide whether the receptions re-evaluate.
+            let (snap_new, skip_evals) = if trusted {
+                parn_sim::counter_inc!("phys.far_cache.hit");
+                let s = snap.expect("trusted implies snapshot");
+                let value = s.value + tail_delta;
+                let rise = s.rise + tail_delta;
+                // Near receivers always re-evaluate (their running sums
+                // just gained this transmission's exact contribution);
+                // far receivers skip while the accumulated rise stays
+                // inside the tolerance budget.
+                let skip = !near && rise <= far.tolerance * (value + thermal);
+                (
+                    FarSnapshot {
+                        value,
+                        rise: if skip { rise } else { 0.0 },
+                        churn: s.churn + tail_delta,
+                        global_at: drift_after,
+                    },
+                    skip,
+                )
+            } else {
+                parn_sim::counter_inc!("phys.far_cache.recompute");
+                (
+                    FarSnapshot::fresh(self.recompute_far(rx), drift_after),
+                    false,
+                )
+            };
+            if skip_evals {
+                parn_sim::counter_inc!("phys.sinr.skipped_reevals", rid_list.len() as u64);
+            } else {
+                let near_delta = if near {
+                    self.received_power(rx, p.tx_station, PowerW(p.power))
+                        .value()
+                } else {
+                    0.0
+                };
+                for &rid in rid_list {
+                    let r = &self.receptions[&rid];
+                    let new_i = r.interference.value() + near_delta;
+                    let eval = self.eval_reception(r, new_i, snap_new.value);
+                    rids.push(RidUpdate {
+                        rid,
+                        new_interference: if near { Some(new_i) } else { None },
+                        clamped: false,
+                        resummed: false,
+                        eval: Some(eval),
+                    });
+                }
+            }
+            RxUpdate {
+                snap: SnapUpdate::Set(snap_new),
+                rids,
+            }
+        } else {
+            // TX end: interference only drops, so nothing re-evaluates
+            // (mirrors the dense path); near receivers subtract the exact
+            // delta, far receivers push the tail value down. Dormant
+            // receivers (no snapshot) stay dormant.
+            if near {
+                let delta = self
+                    .received_power(rx, p.tx_station, PowerW(p.power))
+                    .value();
+                for &rid in rid_list {
+                    let r = &self.receptions[&rid];
+                    if r.src_tx.0 == p.tx_id {
+                        continue; // its own signal, never its interference
+                    }
+                    let mut new_i = r.interference.value() - delta;
+                    let mut clamped = false;
+                    let mut resummed = false;
+                    if new_i < 0.0 {
+                        clamped = true;
+                        if -new_i > RESUM_REL_EPS * delta {
+                            resummed = true;
+                            new_i = self.near_interference_at(rx, Some(r.src_tx)).value();
+                        } else {
+                            new_i = 0.0;
+                        }
+                    }
+                    rids.push(RidUpdate {
+                        rid,
+                        new_interference: Some(new_i),
+                        clamped,
+                        resummed,
+                        eval: None,
+                    });
+                }
+            }
+            let snap_update = match snap {
+                Some(s) if trusted => SnapUpdate::Set(FarSnapshot {
+                    value: s.value - tail_delta,
+                    rise: s.rise,
+                    churn: s.churn + tail_delta,
+                    global_at: drift_after,
+                }),
+                Some(s) => {
+                    // The value can't absorb this subtraction (rounding
+                    // floor or turnover guard): rebuild it now — the
+                    // receptions here stay live and will consume it.
+                    parn_sim::counter_inc!("phys.far_cache.recompute");
+                    SnapUpdate::Set(FarSnapshot {
+                        value: self.recompute_far(rx),
+                        rise: s.rise,
+                        churn: 0.0,
+                        global_at: drift_after,
+                    })
+                }
+                None => SnapUpdate::Keep,
+            };
+            RxUpdate {
+                snap: snap_update,
+                rids,
+            }
+        }
+    }
+
+    /// Re-evaluate one reception against an updated near sum and far tail
+    /// value (shard-side, read-only). Mirrors [`Self::reevaluate`]'s far
+    /// branch exactly.
+    fn eval_reception(&self, r: &ActiveReception, new_interference: f64, far_v: f64) -> EvalUpdate {
+        parn_sim::counter_inc!("phys.sinr.reevaluations");
+        let far_term = self.far_term_from(far_v, r.rx, Some(r.src_tx));
+        let sinr = if self.sic_depth > 0 {
+            self.sinr_with_sic(r)
+        } else {
+            let denom = new_interference + far_term;
+            if denom <= 0.0 {
+                f64::INFINITY
+            } else {
+                r.signal.value() / denom
+            }
+        };
+        let newly_failed = !r.failed && sinr < r.threshold;
+        let mut blame = Vec::new();
+        let mut interference_at_failure = 0.0;
+        if newly_failed {
+            // Blame names near interferers only — a failure caused purely
+            // by the aggregated tail has no single culprit, by
+            // construction.
+            let far = self.far.as_ref().expect("far mode");
+            let rxp = self.position(r.rx);
+            blame = self
+                .active_tx
+                .iter()
+                .filter(|(&id, _)| TxId(id) != r.src_tx)
+                .filter(|(_, tx)| self.position(tx.station).distance(rxp) <= far.near_radius)
+                .map(|(_, tx)| Blame {
+                    station: tx.station,
+                    intended_rx: tx.intended_rx,
+                    contribution: self.received_power(r.rx, tx.station, tx.power),
+                    jammer: tx.jammer,
+                })
+                .filter(|b| b.contribution.value() > 0.0)
+                .collect();
+            interference_at_failure = new_interference + far_term;
+        }
+        EvalUpdate {
+            sinr,
+            newly_failed,
+            blame,
+            interference_at_failure,
+        }
+    }
+
+    /// Apply shard outputs in work-list (cell-index) order — the stable
+    /// reduction step that keeps runs bit-identical across thread counts.
+    fn apply_sweep(&mut self, updates: Vec<RxUpdate>) {
+        for (i, up) in updates.into_iter().enumerate() {
+            match up.snap {
+                SnapUpdate::Keep => {}
+                SnapUpdate::Set(s) => {
+                    let far = self.far.as_mut().expect("far mode");
+                    far.active_rx[i].snap = Some(s);
+                }
+            }
+            for ru in up.rids {
+                if ru.clamped {
+                    parn_sim::counter_inc!("phys.interference.clamped");
+                }
+                if ru.resummed {
+                    parn_sim::counter_inc!("phys.interference.resummed");
+                }
+                let r = self
+                    .receptions
+                    .get_mut(&ru.rid)
+                    .expect("reception vanished");
+                if let Some(i) = ru.new_interference {
+                    r.interference = PowerW(i);
+                }
+                if let Some(e) = ru.eval {
+                    r.min_sinr = r.min_sinr.min(e.sinr);
+                    if e.newly_failed {
+                        r.failed = true;
+                        r.blame = e.blame;
+                        r.interference_at_failure = PowerW(e.interference_at_failure);
+                    }
+                }
+            }
         }
     }
 }
@@ -918,6 +1615,61 @@ mod tests {
         t.end_transmission(tx);
     }
 
+    #[test]
+    fn clamp_drift_triggers_exact_resummation() {
+        use std::sync::atomic::Ordering;
+        // Zero thermal floor and a 17-decades dynamic range: a weak
+        // contribution is swallowed by rounding when a strong one joins the
+        // running sum, so removing strong-then-weak drives the sum negative.
+        // The clamp must then resum exactly, not silently zero the drift.
+        let pos = vec![
+            Point::new(0.0, 0.0),  // src
+            Point::new(10.0, 0.0), // rx
+            Point::new(20.0, 0.0), // weak interferer (gain 1e-2 at rx)
+            Point::new(0.0, 10.0), // strong interferer (gain ~5e-3 at rx)
+        ];
+        let gm = GainMatrix::build(&pos, &FreeSpace::unit());
+        let mut t = SinrTracker::new(Arc::new(gm), PowerW::ZERO, 1e12);
+        let clamped = parn_sim::obs::counter("phys.interference.clamped");
+        let resummed = parn_sim::obs::counter("phys.interference.resummed");
+        let (clamped0, resummed0) = (
+            clamped.load(Ordering::Relaxed),
+            resummed.load(Ordering::Relaxed),
+        );
+
+        let tx = t.start_transmission(0, PowerW(1.0), Some(1));
+        let rx = t.begin_reception(1, tx, 1e-9);
+        for _ in 0..100 {
+            // Weak first (1e-15 W · 1e-2 = 1e-17 W at rx), then strong
+            // (200 W · ~5e-3 = 1 W): the weak term is below one ulp of the
+            // strong one, so end-strong/end-weak leaves a negative residue.
+            let weak = t.start_transmission(2, PowerW(1e-15), None);
+            let strong = t.start_transmission(3, PowerW(200.0), None);
+            t.end_transmission(strong);
+            t.end_transmission(weak);
+            // After every cycle the running sum must bit-match a
+            // from-scratch recompute of the active set (here: empty).
+            let exact = t.interference_at(1, Some(tx));
+            let running = t.receptions[&rx.0].interference;
+            assert_eq!(
+                running.value().to_bits(),
+                exact.value().to_bits(),
+                "running {running:?} diverged from exact {exact:?}"
+            );
+        }
+        assert!(
+            clamped.load(Ordering::Relaxed) > clamped0,
+            "clamp never fired — test geometry no longer exercises drift"
+        );
+        assert!(
+            resummed.load(Ordering::Relaxed) > resummed0,
+            "resummation never fired"
+        );
+        let rep = t.complete_reception(rx);
+        t.end_transmission(tx);
+        assert!(rep.success);
+    }
+
     mod far_field {
         use super::*;
         use crate::gainmodel::{GainModel, GridGainModel};
@@ -1017,6 +1769,54 @@ mod tests {
             assert_eq!(exact.success, approx.success);
             let rel = (exact.min_sinr - approx.min_sinr).abs() / exact.min_sinr;
             assert!(rel < 0.5, "min_sinr diverged: {rel}");
+        }
+
+        #[test]
+        fn sweep_results_are_bit_identical_across_thread_counts() {
+            // Enough live receivers (> PAR_MIN_WORK) that the pooled path
+            // actually engages, then heavy interferer churn so sweeps do
+            // real work. Every per-reception outcome must match to the bit
+            // regardless of thread count — the stable-reduction-order
+            // guarantee the CI determinism matrix also checks end to end.
+            let gm = grid_model(400, 300.0, 13);
+            let run = |threads: usize| {
+                let mut t =
+                    SinrTracker::new(Arc::clone(&gm) as Arc<dyn GainModel>, PowerW(1e-13), 1e12)
+                        .with_far_field(60.0, 0.05)
+                        .with_threads_unclamped(threads);
+                let mut rng = Rng::new(99);
+                let mut links = Vec::new();
+                for i in 0..120 {
+                    let tx = t.start_transmission(2 * i, PowerW(0.1), Some(2 * i + 1));
+                    let rx = t.begin_reception(2 * i + 1, tx, 1e-2);
+                    links.push((tx, rx));
+                }
+                let mut churn = Vec::new();
+                for k in 0..60 {
+                    churn.push(t.start_transmission(
+                        240 + k,
+                        PowerW(rng.range_f64(1e-4, 1.0)),
+                        None,
+                    ));
+                    if k % 3 == 2 {
+                        t.end_transmission(churn.remove(0));
+                    }
+                }
+                for id in churn {
+                    t.end_transmission(id);
+                }
+                let mut out = Vec::new();
+                for (tx, rx) in links {
+                    let rep = t.complete_reception(rx);
+                    t.end_transmission(tx);
+                    out.push((rep.success, rep.min_sinr.to_bits(), rep.blame.len()));
+                }
+                out
+            };
+            let single = run(1);
+            for threads in [2, 4] {
+                assert_eq!(single, run(threads), "diverged at threads={threads}");
+            }
         }
 
         #[test]

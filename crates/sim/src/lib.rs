@@ -14,13 +14,19 @@
 //!   [`trace_event!`]);
 //! * [`obs`] — a process-wide counter/timer registry for hot-path
 //!   observability (see [`counter_inc!`] and [`time_scope!`]);
+//! * [`pool`] — a persistent worker pool with a scoped-borrow barrier API,
+//!   used by the cell-sharded far-field SINR sweep;
 //! * [`json`] — a dependency-free JSON value/writer/parser used by the
 //!   run-artifact layer (`BENCH_*.json`, see `docs/OBSERVABILITY.md`).
 //!
-//! Design note: the simulator is intentionally *synchronous and
-//! single-threaded*. A discrete-event radio simulation is CPU-bound and
+//! Design note: the simulator's *event loop* is intentionally synchronous
+//! and single-threaded. A discrete-event radio simulation is CPU-bound and
 //! needs a total order over events; an async runtime would add overhead and
-//! nondeterminism for no benefit (see DESIGN.md §2).
+//! nondeterminism for no benefit (see DESIGN.md §2). The one concession to
+//! parallelism is [`pool::WorkerPool`]: within a single event, embarrassingly
+//! parallel per-receiver work may fan out and rejoin behind a barrier, with
+//! results merged in a fixed order so runs stay bit-reproducible at any
+//! thread count.
 
 #![warn(missing_docs)]
 
@@ -28,6 +34,7 @@ pub mod engine;
 pub mod events;
 pub mod json;
 pub mod obs;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,249 @@
+//! A small persistent worker pool with a scoped-borrow, barrier-style API.
+//!
+//! The far-field SINR sweep (see `parn-phys`) partitions its per-cell work
+//! into shards and wants to run them on threads *without* respawning OS
+//! threads on every simulated transmission (a sweep fires millions of times
+//! per run, and fresh threads would also lose the per-thread gain caches).
+//! `std::thread::scope` spawns per call, so this module provides the same
+//! borrow-friendly contract on top of long-lived workers:
+//!
+//! * [`WorkerPool::run`] accepts closures that may borrow from the caller's
+//!   stack, dispatches all but the first to the workers, runs the first on
+//!   the calling thread, and **blocks until every job has finished** before
+//!   returning. That barrier is what makes lending non-`'static` borrows to
+//!   the workers sound (the borrows cannot outlive the call).
+//! * Results come back in job order regardless of which worker ran what, so
+//!   callers get a stable reduction order for free.
+//! * A panic inside any job is re-raised on the calling thread — after the
+//!   barrier, so no job is ever left running against a dead stack frame.
+//!
+//! The pool is deliberately dumb: one `mpsc` channel per worker, round-robin
+//! assignment, no work stealing. Shards are pre-balanced by the caller, and
+//! determinism matters more than utilisation here.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// A job with its lifetime erased; see the safety argument in [`WorkerPool::run`].
+type ErasedJob = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>;
+
+/// A finished job's payload: its return value or the panic it raised.
+type JobOutcome = Result<Box<dyn Any + Send>, Box<dyn Any + Send>>;
+
+/// What a worker sends back: the job's index and its outcome.
+type JobResult = (usize, JobOutcome);
+
+struct Inner {
+    /// One submission channel per worker (round-robin assignment).
+    job_txs: Vec<mpsc::Sender<(usize, ErasedJob)>>,
+    /// Shared completion channel all workers report into.
+    done_rx: mpsc::Receiver<JobResult>,
+}
+
+/// Persistent worker threads executing borrowed jobs behind a per-call barrier.
+///
+/// See the [module docs](self) for the contract. The pool holds `workers`
+/// OS threads for its whole lifetime; dropping the pool shuts them down and
+/// joins them.
+pub struct WorkerPool {
+    /// `Mutex` both for interior mutability (`Receiver` is not `Sync`) and to
+    /// serialise concurrent `run` calls, which keeps job/result matching sound.
+    inner: Option<Mutex<Inner>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `workers` threads (clamped to at least 1).
+    ///
+    /// A caller that wants `t`-way parallelism should spawn `t - 1` workers
+    /// and let [`WorkerPool::run`] use the calling thread as the `t`-th lane.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (done_tx, done_rx) = mpsc::channel::<JobResult>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<(usize, ErasedJob)>();
+            let done_tx = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("parn-pool-{w}"))
+                .spawn(move || {
+                    while let Ok((idx, job)) = job_rx.recv() {
+                        let result = catch_unwind(AssertUnwindSafe(job));
+                        if done_tx.send((idx, result)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn pool worker");
+            job_txs.push(job_tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            inner: Some(Mutex::new(Inner { job_txs, done_rx })),
+            handles,
+        }
+    }
+
+    /// Number of worker threads (not counting the caller's lane).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `jobs` to completion and return their results in job order.
+    ///
+    /// Job 0 runs on the calling thread; the rest are dispatched round-robin
+    /// to the workers. The call returns only after *every* job has completed,
+    /// and re-raises the first panic (by job order) after that barrier.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send,
+    {
+        let mut jobs = jobs;
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        if jobs.len() == 1 {
+            let job = jobs.pop().unwrap();
+            return vec![job()];
+        }
+        let inner = self
+            .inner
+            .as_ref()
+            .expect("pool used after shutdown")
+            .lock()
+            .unwrap();
+        let n = jobs.len();
+        let mut results: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
+        let mut drained = jobs.drain(..);
+        let first = drained.next().unwrap();
+        for (i, job) in drained.enumerate() {
+            let idx = i + 1;
+            let erased: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send + '_> =
+                Box::new(move || Box::new(job()) as Box<dyn Any + Send>);
+            // SAFETY: only the trait object's lifetime parameter is changed;
+            // the layout of `Box<dyn FnOnce ...>` is identical. The closure
+            // may borrow from the caller's stack, but this function blocks
+            // (below) until the worker has reported the job's completion, so
+            // the borrow cannot be outlived. The `Mutex` around `Inner`
+            // serialises concurrent `run` calls, so completions on the shared
+            // channel always belong to this call.
+            let erased: ErasedJob = unsafe { std::mem::transmute(erased) };
+            inner.job_txs[i % inner.job_txs.len()]
+                .send((idx, erased))
+                .expect("pool worker exited unexpectedly");
+        }
+        // The caller's thread is lane 0; running it after dispatch overlaps
+        // with the workers.
+        results[0] =
+            Some(catch_unwind(AssertUnwindSafe(first)).map(|v| Box::new(v) as Box<dyn Any + Send>));
+        for _ in 1..n {
+            let (idx, result) = inner
+                .done_rx
+                .recv()
+                .expect("pool worker exited unexpectedly");
+            results[idx] = Some(result);
+        }
+        drop(inner);
+        // Barrier passed: every job is done. Now surface panics (first by
+        // job order, for determinism) and unpack results.
+        let mut out = Vec::with_capacity(n);
+        for slot in results {
+            match slot.expect("every job reports exactly once") {
+                Ok(value) => out.push(*value.downcast::<T>().expect("job result type")),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's recv loop.
+        self.inner = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_jobs_and_preserves_order() {
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<_> = (0..10u64).map(|i| move || i * i).collect();
+        assert_eq!(
+            pool.run(jobs),
+            (0..10u64).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn jobs_may_borrow_from_the_callers_stack() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&[u64]> = data.chunks(137).collect();
+        let jobs: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let chunk: &[u64] = chunk;
+                move || chunk.iter().sum::<u64>()
+            })
+            .collect();
+        let total: u64 = pool.run(jobs).into_iter().sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn result_is_independent_of_worker_count() {
+        let reference: Vec<u64> = (0..40u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+        for workers in [1, 2, 7] {
+            let pool = WorkerPool::new(workers);
+            let jobs: Vec<_> = (0..40u64).map(|i| move || i.wrapping_mul(0x9e37)).collect();
+            assert_eq!(pool.run(jobs), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_calls() {
+        let pool = WorkerPool::new(2);
+        for round in 0..100u64 {
+            let jobs: Vec<_> = (0..4u64).map(|i| move || round + i).collect();
+            assert_eq!(pool.run(jobs), vec![round, round + 1, round + 2, round + 3]);
+        }
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.run(vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 2 panicked")]
+    fn job_panics_propagate_after_the_barrier() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| 2),
+            Box::new(|| panic!("job 2 panicked")),
+        ];
+        pool.run(jobs);
+    }
+}
