@@ -12,25 +12,7 @@ use parn_phys::{PowerW, ReceptionCriterion};
 use parn_sched::SchedParams;
 use parn_sim::Duration;
 
-/// How packet destinations are drawn.
-#[derive(Clone, Debug)]
-pub enum DestPolicy {
-    /// Uniformly among all other stations (multihop traffic).
-    UniformAll,
-    /// Uniformly among the source's routing neighbours (single-hop).
-    Neighbors,
-    /// A fixed list of (src, dst) flows, cycled by the generator.
-    Flows(Vec<(usize, usize)>),
-}
-
-/// Traffic generation parameters.
-#[derive(Clone, Debug)]
-pub struct TrafficConfig {
-    /// Mean packet arrivals per station per second (Poisson).
-    pub arrivals_per_station_per_sec: f64,
-    /// Destination selection policy.
-    pub dest: DestPolicy,
-}
+pub use crate::traffic::{DestPolicy, SourceModel, TrafficConfig};
 
 /// How neighbours keep their clock models fresh after the initial
 /// rendezvous.
@@ -122,9 +104,17 @@ pub enum RouteMode {
     /// tie-breaks may differ. Tuned by [`DvConfig`].
     Distributed,
     /// Direct-edge table only (O(E) memory): valid when traffic is
-    /// single-hop (`DestPolicy::Neighbors`), the regime the metro-scale
-    /// experiments run in.
+    /// single-hop (`DestPolicy::Neighbors`), the regime the early
+    /// metro-scale experiments ran in.
     OneHop,
+    /// Greedy geographic forwarding (O(E) memory): each hop relays to the
+    /// usable neighbour strictly closest to the destination's position.
+    /// The all-pairs-free option that still routes *multi-hop* — required
+    /// for far-destination traffic (`DestPolicy::Gravity`/`Hotspot`) at
+    /// metro scale, where a dense table would need M² entries. Packets
+    /// that reach a greedy dead end are dropped as `Unroutable` and
+    /// accounted.
+    Greedy,
 }
 
 /// Distance-vector protocol knobs (`RouteMode::Distributed`).
@@ -305,6 +295,7 @@ impl NetConfig {
             traffic: TrafficConfig {
                 arrivals_per_station_per_sec: 2.0,
                 dest: DestPolicy::UniformAll,
+                source: SourceModel::Poisson,
             },
             mac_horizon_slots: 200,
             max_retries: 10,
@@ -393,13 +384,7 @@ impl NetConfig {
             RouteMode::Centralized => "centralized",
             RouteMode::Distributed => "distributed",
             RouteMode::OneHop => "one_hop",
-        };
-        let dest = match &self.traffic.dest {
-            DestPolicy::UniformAll => obj([("kind", "uniform_all".into())]),
-            DestPolicy::Neighbors => obj([("kind", "neighbors".into())]),
-            DestPolicy::Flows(flows) => {
-                obj([("kind", "flows".into()), ("count", flows.len().into())])
-            }
+            RouteMode::Greedy => "greedy",
         };
         obj([
             ("seed", self.seed.into()),
@@ -457,16 +442,7 @@ impl NetConfig {
                     ),
                 ]),
             ),
-            (
-                "traffic",
-                obj([
-                    (
-                        "arrivals_per_station_per_sec",
-                        self.traffic.arrivals_per_station_per_sec.into(),
-                    ),
-                    ("dest", dest),
-                ]),
-            ),
+            ("traffic", self.traffic.to_json()),
             ("mac_horizon_slots", self.mac_horizon_slots.into()),
             ("max_retries", u64::from(self.max_retries).into()),
             ("packet_divisor", self.packet_divisor.into()),

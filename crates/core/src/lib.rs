@@ -11,6 +11,8 @@
 //! * [`station`] — per-station protocol state;
 //! * [`network`] — the full event-driven simulator (MAC + PHY + routing +
 //!   traffic);
+//! * [`traffic`] — composable traffic models (Poisson / bursty on-off
+//!   sources × uniform / neighbour / gravity / hotspot destinations);
 //! * [`metrics`] — loss/delay/duty accounting.
 //!
 //! ```
@@ -32,11 +34,12 @@ pub mod network;
 pub mod packet;
 pub mod power;
 pub mod station;
+pub mod traffic;
 
 pub use collision::{classify, classify_with, CollisionKinds};
 pub use config::{
     ClockConfig, DestPolicy, DvConfig, FarFieldConfig, NeighborProtection, NetConfig, PhyBackend,
-    RouteMode, SyncMode, TrafficConfig,
+    RouteMode, SourceModel, SyncMode, TrafficConfig,
 };
 pub use faults::{FaultEvent, FaultKind, FaultPlan, HealConfig, HealMode};
 pub use metrics::Metrics;

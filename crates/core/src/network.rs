@@ -12,7 +12,7 @@
 //! collision counters stay at zero.
 
 use crate::collision::classify;
-use crate::config::{DestPolicy, NetConfig, PhyBackend, RouteMode, SyncMode};
+use crate::config::{DestPolicy, NetConfig, PhyBackend, RouteMode, SourceModel, SyncMode};
 use crate::faults::{FaultKind, FaultPlan, HealMode};
 use crate::metrics::{Metrics, WarmupGate};
 use crate::packet::{ControlPayload, LossCause, Packet, PacketKind};
@@ -21,7 +21,7 @@ use crate::station::{PlannedTx, Station};
 use parn_phys::placement::density;
 use parn_phys::propagation::{FreeSpace, Propagation, Shadowed};
 use parn_phys::sinr::{RxId, SinrTracker, TxId};
-use parn_phys::{GainMatrix, GainModel, GridGainModel, PowerW, StationId};
+use parn_phys::{GainMatrix, GainModel, GravitySampler, GridGainModel, Point, PowerW, StationId};
 use parn_route::{DvCluster, DvState, EnergyGraph, RouteTable};
 use parn_sched::{
     intersect_lists, subtract_lists, ClockSample, PredictedSchedule, QuarterSlot, RemoteClockModel,
@@ -142,6 +142,19 @@ pub struct Network {
     reachable: Vec<Vec<StationId>>,
     /// Per-source fixed-flow destinations (for `DestPolicy::Flows`).
     flow_dsts: Vec<Vec<StationId>>,
+    /// Station positions (greedy route rebuilds, gravity sampling).
+    positions: Vec<Point>,
+    /// Spatial destination sampler (`DestPolicy::Gravity` only).
+    gravity: Option<GravitySampler>,
+    /// Cumulative Zipf weights over the sink stations
+    /// (`DestPolicy::Hotspot` only; sink `k` is station id `k`).
+    hotspot_cum: Vec<f64>,
+    /// Per-station on-off burst phase (`SourceModel::OnOff` only): true
+    /// while the station is inside a talk spurt.
+    burst_on: Vec<bool>,
+    /// When the current on/off phase ends (lazily initialized at the
+    /// first interarrival draw).
+    burst_until: Vec<Time>,
     end: Time,
     /// Interference budget for §7.3 significance: delivered/θ.
     interference_budget: PowerW,
@@ -232,6 +245,7 @@ impl Network {
         let (routes, dv) = match cfg.route_mode {
             RouteMode::Centralized => (RouteTable::centralized(&graph), Vec::new()),
             RouteMode::OneHop => (RouteTable::one_hop(&graph), Vec::new()),
+            RouteMode::Greedy => (RouteTable::greedy(&graph, &positions), Vec::new()),
             RouteMode::Distributed => {
                 // Real per-station protocol state. The initial tables come
                 // from a cold-start exchange (every station trades vectors
@@ -352,6 +366,50 @@ impl Network {
                 flow_dsts[s].push(d);
             }
         }
+        // Spatial traffic models. All of this state is inert (None/empty)
+        // unless the matching policy is selected, so default-config runs
+        // build and draw exactly as before.
+        let gravity = match &cfg.traffic.dest {
+            DestPolicy::Gravity { exponent } => {
+                assert!(*exponent >= 0.0, "gravity exponent must be >= 0");
+                // Radius draws span hop length → metro diameter: shorter
+                // draws snap to a neighbour anyway, longer ones can't land
+                // inside the placement disk.
+                let r_max = (2.0 * region.radius).max(2.0 * reach);
+                Some(GravitySampler::new(&positions, *exponent, reach, r_max))
+            }
+            _ => None,
+        };
+        let hotspot_cum: Vec<f64> = match &cfg.traffic.dest {
+            DestPolicy::Hotspot { sinks, skew } => {
+                assert!(*sinks >= 1, "need at least one hotspot sink");
+                assert!(*skew >= 0.0, "hotspot skew must be >= 0");
+                let k = (*sinks).min(n);
+                let w: Vec<f64> = (0..k).map(|i| ((i + 1) as f64).powf(-skew)).collect();
+                let total: f64 = w.iter().sum();
+                let mut cum = 0.0;
+                w.iter()
+                    .map(|x| {
+                        cum += x / total;
+                        cum
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        let bursty = match cfg.traffic.source {
+            SourceModel::Poisson => false,
+            SourceModel::OnOff {
+                on_mean_s,
+                off_mean_s,
+            } => {
+                assert!(on_mean_s > 0.0, "on_mean_s must be > 0");
+                assert!(off_mean_s >= 0.0, "off_mean_s must be >= 0");
+                true
+            }
+        };
+        let burst_on = vec![false; if bursty { n } else { 0 }];
+        let burst_until = vec![Time::ZERO; if bursty { n } else { 0 }];
 
         let warm = WarmupGate {
             warm_at: Time::ZERO + cfg.warmup,
@@ -376,6 +434,11 @@ impl Network {
             next_packet_id: 0,
             reachable,
             flow_dsts,
+            positions,
+            gravity,
+            hotspot_cum,
+            burst_on,
+            burst_until,
             end,
             interference_budget,
             alive,
@@ -447,7 +510,7 @@ impl Network {
         let n = self.stations.len();
         for s in 0..n {
             if self.has_traffic(s) {
-                let dt = self.next_interarrival();
+                let dt = self.next_interarrival(s, Time::ZERO);
                 queue.schedule(Time::ZERO + dt, Event::NextArrival { station: s });
                 self.arrivals_live[s] = true;
             }
@@ -565,13 +628,22 @@ impl Network {
         self.metrics.mean_queue_depth = self.queue_depth.average(self.end);
         self.metrics.peak_queue_depth = self.queue_depth.max();
         self.metrics.mean_concurrent_tx = self.on_air.average(self.end);
+        self.metrics.queue_depth_hist.freeze(self.end);
         self.metrics
+    }
+
+    /// Adjust the network-wide queued-packet count: the running
+    /// time-average/peak (pre-existing) and the dwell-time histogram the
+    /// saturation sweep reads percentiles from.
+    fn track_queue(&mut self, now: Time, delta: f64) {
+        self.queue_depth.adjust(now, delta);
+        self.metrics.queue_depth_hist.adjust(now, delta);
     }
 
     /// Enqueue at a station with occupancy bookkeeping.
     fn enqueue_tracked(&mut self, s: StationId, next_hop: StationId, packet: Packet, now: Time) {
         self.stations[s].enqueue(next_hop, packet, now);
-        self.queue_depth.adjust(now, 1.0);
+        self.track_queue(now, 1.0);
     }
 
     /// True when routing runs as the per-station distance-vector
@@ -638,12 +710,55 @@ impl Network {
             DestPolicy::UniformAll => !self.reachable[s].is_empty(),
             DestPolicy::Neighbors => !self.stations[s].routing_neighbors.is_empty(),
             DestPolicy::Flows(_) => !self.flow_dsts[s].is_empty(),
+            DestPolicy::Gravity { .. } => self.gravity.is_some(),
+            // Every station sends to the sinks, except a lone sink with
+            // nobody else to address.
+            DestPolicy::Hotspot { .. } => {
+                !(self.hotspot_cum.is_empty() || (self.hotspot_cum.len() == 1 && s == 0))
+            }
         }
     }
 
-    fn next_interarrival(&mut self) -> Duration {
-        let mean = 1.0 / self.cfg.traffic.arrivals_per_station_per_sec;
-        Duration::from_secs_f64(self.rng_traffic.exp(mean))
+    /// Time from `now` until station `s` generates its next packet.
+    /// Poisson sources draw one exponential per call — the exact sequence
+    /// pre-traffic-subsystem runs drew, keeping them bit-identical. On-off
+    /// sources walk the station's two-state phase machine: exponential
+    /// interarrivals at the inflated within-burst rate while on, skipping
+    /// the off periods entirely.
+    fn next_interarrival(&mut self, s: StationId, now: Time) -> Duration {
+        let mean_rate = self.cfg.traffic.arrivals_per_station_per_sec;
+        match self.cfg.traffic.source {
+            SourceModel::Poisson => Duration::from_secs_f64(self.rng_traffic.exp(1.0 / mean_rate)),
+            SourceModel::OnOff {
+                on_mean_s,
+                off_mean_s,
+            } => {
+                let peak = self.cfg.traffic.source.peak_rate(mean_rate);
+                let mut t = now;
+                loop {
+                    if self.burst_on[s] {
+                        let dt = Duration::from_secs_f64(self.rng_traffic.exp(1.0 / peak));
+                        let cand = t + dt;
+                        if cand <= self.burst_until[s] {
+                            return cand - now;
+                        }
+                        // Burst over before the draw landed: silence next.
+                        t = self.burst_until[s];
+                        self.burst_on[s] = false;
+                        self.burst_until[s] =
+                            t + Duration::from_secs_f64(self.rng_traffic.exp(off_mean_s));
+                    } else {
+                        // Skip the rest of the off period (for the lazy
+                        // initial state `burst_until` is `Time::ZERO`,
+                        // so the first burst starts immediately).
+                        t = t.max(self.burst_until[s]);
+                        self.burst_on[s] = true;
+                        self.burst_until[s] =
+                            t + Duration::from_secs_f64(self.rng_traffic.exp(on_mean_s));
+                    }
+                }
+            }
+        }
     }
 
     fn pick_destination(&mut self, s: StationId) -> Option<StationId> {
@@ -670,6 +785,27 @@ impl Network {
                     None
                 } else {
                     Some(*self.rng_traffic.choose(opts))
+                }
+            }
+            DestPolicy::Gravity { .. } => {
+                let sampler = self.gravity.as_ref()?;
+                sampler.sample(s, &mut self.rng_traffic)
+            }
+            DestPolicy::Hotspot { .. } => {
+                if self.hotspot_cum.is_empty() {
+                    return None;
+                }
+                let u = self.rng_traffic.next_f64();
+                let k = self.hotspot_cum.partition_point(|&c| c <= u);
+                let dst = k.min(self.hotspot_cum.len() - 1);
+                if dst != s {
+                    Some(dst)
+                } else if self.hotspot_cum.len() > 1 {
+                    // A sink never addresses itself: fold onto the next
+                    // sink (wrapping), preserving one draw per packet.
+                    Some((dst + 1) % self.hotspot_cum.len())
+                } else {
+                    None
                 }
             }
         }
@@ -800,7 +936,7 @@ impl Network {
                     .expect("queue emptied unexpectedly");
                 st.reservations.push((start, start + self.airtime));
                 let pid = packet.id;
-                self.queue_depth.adjust(now, -1.0);
+                self.track_queue(now, -1.0);
                 let st = &mut self.stations[s];
                 st.pending_tx.insert(
                     start.ticks(),
@@ -1090,8 +1226,11 @@ impl Network {
             if measured {
                 self.metrics.delivered += 1;
                 self.metrics.per_station_delivered[at] += 1;
-                self.metrics.e2e_delay.add(packet.age(now).as_secs_f64());
+                let delay = packet.age(now).as_secs_f64();
+                self.metrics.e2e_delay.add(delay);
+                self.metrics.e2e_delay_hist.add(delay);
                 self.metrics.hops_per_packet.add(packet.hops as f64);
+                self.metrics.hops_hist.add(packet.hops as f64);
                 self.metrics.bits_delivered += self.cfg.packet_bits();
             }
             return;
@@ -1193,7 +1332,7 @@ impl Network {
         }
         // Schedule the next arrival first (keeps the process going even if
         // this packet is unroutable).
-        let dt = self.next_interarrival();
+        let dt = self.next_interarrival(s, now);
         let next = now + dt;
         if next <= self.end {
             queue.schedule(next, Event::NextArrival { station: s });
@@ -1210,10 +1349,16 @@ impl Network {
             self.metrics.generated += 1;
             self.metrics.per_station_generated[s] += 1;
         }
-        if self.distributed() {
+        let spatial_dest = matches!(
+            self.cfg.traffic.dest,
+            DestPolicy::Gravity { .. } | DestPolicy::Hotspot { .. }
+        );
+        if self.distributed() || spatial_dest {
             // The reachable list can be stale while the exchange
-            // reconverges: the packet settles as unroutable, staying on
-            // the conservation ledger.
+            // reconverges — and the spatial policies sample destinations
+            // without a reachability scan (greedy forwarding can dead-end
+            // en route anyway): either way the packet settles as
+            // unroutable, staying on the conservation ledger.
             self.route_or_drop(s, packet, now, queue);
         } else {
             // Table-based reachable lists are kept exact; a miss here is
@@ -1563,7 +1708,7 @@ impl Network {
             .remove(&nh)
             .map(|q| q.into_iter().collect())
             .unwrap_or_default();
-        self.queue_depth.adjust(now, -(orphaned.len() as f64));
+        self.track_queue(now, -(orphaned.len() as f64));
         for p in orphaned {
             if p.kind != PacketKind::Data {
                 // Control frames are pinned to the lost addressee; the
@@ -1643,7 +1788,7 @@ impl Network {
         for (_, q) in std::mem::take(&mut st.queues) {
             lost.extend(q);
         }
-        self.queue_depth.adjust(now, -(lost.len() as f64));
+        self.track_queue(now, -(lost.len() as f64));
         let st = &mut self.stations[s];
         lost.extend(
             std::mem::take(&mut st.pending_tx)
@@ -1747,7 +1892,7 @@ impl Network {
         }
         // Restart the arrival process if the pre-crash chain died out.
         if !self.arrivals_live[s] && self.cfg.traffic.arrivals_per_station_per_sec > 0.0 {
-            let dt = self.next_interarrival();
+            let dt = self.next_interarrival(s, now);
             let next = now + dt;
             if next <= self.end {
                 queue.schedule(next, Event::NextArrival { station: s });
@@ -1996,6 +2141,7 @@ impl Network {
         let graph = EnergyGraph::from_model_masked(&*self.gains, self.usable_gain, &tx_ok, &rx_ok);
         self.routes = match self.cfg.route_mode {
             RouteMode::OneHop => RouteTable::one_hop(&graph),
+            RouteMode::Greedy => RouteTable::greedy(&graph, &self.positions),
             _ => RouteTable::centralized(&graph),
         };
         if matches!(self.cfg.traffic.dest, DestPolicy::UniformAll) {
@@ -2048,7 +2194,7 @@ impl Network {
                     .flatten()
                     .collect()
             };
-            self.queue_depth.adjust(now, -(queued.len() as f64));
+            self.track_queue(now, -(queued.len() as f64));
             for p in queued {
                 if p.kind == PacketKind::Hello {
                     // Hellos are pinned to their addressee; keep one only
@@ -2191,6 +2337,85 @@ mod tests {
         assert!(m.delivered > 0);
         assert!((m.hops_per_packet.mean() - 1.0).abs() < 1e-9);
         assert_eq!(m.collision_losses(), 0);
+    }
+
+    #[test]
+    fn gravity_traffic_is_multihop_and_conserved() {
+        let mut cfg = small_cfg(60, 19);
+        cfg.traffic.dest = DestPolicy::Gravity { exponent: 2.0 };
+        let m = Network::run(cfg);
+        assert!(m.generated > 50, "{}", m.summary());
+        assert!(m.delivered > 0, "{}", m.summary());
+        // Distance-weighted destinations must actually exercise relaying.
+        assert!(
+            m.hops_per_packet.mean() > 1.2,
+            "mean hops {}",
+            m.hops_per_packet.mean()
+        );
+        assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+        assert!(m.conservation_holds(), "{}", m.summary());
+    }
+
+    #[test]
+    fn gravity_over_greedy_routes_at_scale_shape() {
+        // The metro-scale pairing: greedy geographic forwarding carrying
+        // gravity traffic, no dense table anywhere.
+        let mut cfg = small_cfg(60, 23);
+        cfg.traffic.dest = DestPolicy::Gravity { exponent: 2.0 };
+        cfg.route_mode = RouteMode::Greedy;
+        let m = Network::run(cfg);
+        assert!(m.delivered > 0, "{}", m.summary());
+        assert!(m.hops_per_packet.mean() > 1.2, "{}", m.summary());
+        assert_eq!(m.collision_losses(), 0, "{}", m.summary());
+        assert!(m.conservation_holds(), "{}", m.summary());
+    }
+
+    #[test]
+    fn hotspot_traffic_concentrates_on_sinks() {
+        let mut cfg = small_cfg(40, 29);
+        cfg.traffic.dest = DestPolicy::Hotspot {
+            sinks: 3,
+            skew: 1.0,
+        };
+        let m = Network::run(cfg);
+        assert!(m.delivered > 0, "{}", m.summary());
+        let sink_rx: u64 = m.per_station_delivered[..3].iter().sum();
+        let other_rx: u64 = m.per_station_delivered[3..].iter().sum();
+        assert_eq!(other_rx, 0, "non-sink stations received final traffic");
+        assert!(sink_rx > 0);
+        // Zipf skew: sink 0 is the most popular.
+        assert!(
+            m.per_station_delivered[0] >= m.per_station_delivered[2],
+            "sink 0 {} < sink 2 {}",
+            m.per_station_delivered[0],
+            m.per_station_delivered[2]
+        );
+        assert!(m.conservation_holds(), "{}", m.summary());
+    }
+
+    #[test]
+    fn onoff_source_preserves_mean_rate_but_bursts() {
+        let mut steady = small_cfg(30, 31);
+        steady.run_for = Duration::from_secs(12);
+        let mut bursty = steady.clone();
+        bursty.traffic.source = SourceModel::OnOff {
+            on_mean_s: 0.3,
+            off_mean_s: 0.9,
+        };
+        let ms = Network::run(steady);
+        let mb = Network::run(bursty);
+        // Same long-run mean arrival rate (within Poisson noise)...
+        let ratio = mb.generated as f64 / ms.generated as f64;
+        assert!((0.7..1.3).contains(&ratio), "rate ratio {ratio}");
+        // ...but clumped arrivals queue deeper.
+        assert!(
+            mb.peak_queue_depth >= ms.peak_queue_depth,
+            "burst peak {} < steady peak {}",
+            mb.peak_queue_depth,
+            ms.peak_queue_depth
+        );
+        assert_eq!(mb.collision_losses(), 0, "{}", mb.summary());
+        assert!(mb.conservation_holds(), "{}", mb.summary());
     }
 
     #[test]

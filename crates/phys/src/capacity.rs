@@ -1,0 +1,245 @@
+//! Closed-form capacity and coverage references for the saturation
+//! envelope (E7).
+//!
+//! Two families of analytic results bracket what the simulator measures
+//! when traffic is driven to the goodput knee (`docs/CAPACITY.md` maps
+//! every parameter to `NetConfig` and discusses where the scheme is
+//! expected to beat them):
+//!
+//! * **Błaszczyszyn–Mühlethaler**, "Interference and SINR coverage in
+//!   spatial non-slotted Aloha networks" / "Stochastic Analysis of
+//!   Non-slotted Aloha": the SINR coverage probability of a Poisson
+//!   field of uncoordinated (Aloha) transmitters. The infinite-plane
+//!   closed form ([`aloha_coverage_infinite`]) needs path-loss exponent
+//!   β > 2 — at the free-space β = 2 this repo simulates, the
+//!   interference integral diverges on the infinite plane, which is
+//!   exactly the §4 "din" argument of the source paper. The finite-disk
+//!   forms ([`mean_din_w`], [`coverage_at_mean_sinr`]) keep β = 2 and
+//!   recover the paper's logarithmic din instead.
+//! * **Mhatre–Rosenberg**, "The Capacity of Random Ad hoc Networks under
+//!   a Realistic Link Layer Model" (following Gupta–Kumar): per-node
+//!   saturation throughput is bounded by the relaying burden — a mean
+//!   flow of `h̄` hops consumes `h̄` transmission opportunities per
+//!   delivered packet ([`saturation_arrival_bound`]), and under random
+//!   placement/traffic the per-node rate decays as `Θ(1/√(n log n))`
+//!   ([`per_node_capacity_scaling`]).
+
+use std::f64::consts::PI;
+
+/// The spatial interference constant `C(β) = 2π² / (β·sin(2π/β))` of the
+/// Błaszczyszyn–Mühlethaler slotted-Aloha coverage formula (Rayleigh
+/// fading, infinite Poisson plane). Defined only for path-loss exponents
+/// β > 2; at β ≤ 2 the infinite-plane interference diverges and `None`
+/// is returned.
+///
+/// ```
+/// use parn_phys::capacity::aloha_spatial_constant;
+/// let c4 = aloha_spatial_constant(4.0).unwrap();
+/// assert!((c4 - std::f64::consts::PI * std::f64::consts::PI / 2.0).abs() < 1e-12);
+/// assert!(aloha_spatial_constant(2.0).is_none(), "free space diverges");
+/// ```
+pub fn aloha_spatial_constant(beta: f64) -> Option<f64> {
+    if beta <= 2.0 {
+        return None;
+    }
+    Some(2.0 * PI * PI / (beta * (2.0 * PI / beta).sin()))
+}
+
+/// Infinite-plane Aloha SINR coverage probability
+/// `p = exp(−λ·θ^(2/β)·r²·C(β))` for transmitter density `λ` (per m²),
+/// SINR threshold `θ`, hop distance `r` and path-loss exponent β > 2
+/// (noise-negligible regime). For **non-slotted** Aloha the vulnerable
+/// window doubles: pass `2λ` (the classic pure-Aloha factor), which is
+/// the mean-interference bound the non-slotted analysis tightens.
+///
+/// ```
+/// use parn_phys::capacity::aloha_coverage_infinite;
+/// let p = aloha_coverage_infinite(1e-4, 4.0, 0.5, 20.0).unwrap();
+/// assert!(p > 0.0 && p < 1.0);
+/// // Doubling the transmitter density squares the coverage.
+/// let p2 = aloha_coverage_infinite(2e-4, 4.0, 0.5, 20.0).unwrap();
+/// assert!((p2 - p * p).abs() < 1e-12);
+/// ```
+pub fn aloha_coverage_infinite(
+    tx_density_per_m2: f64,
+    beta: f64,
+    theta: f64,
+    hop_m: f64,
+) -> Option<f64> {
+    let c = aloha_spatial_constant(beta)?;
+    let exponent = tx_density_per_m2 * theta.powf(2.0 / beta) * hop_m * hop_m * c;
+    Some((-exponent).exp())
+}
+
+/// Mean aggregate interference (W) at a receiver in a **finite** disk of
+/// uncoordinated transmitters under free-space `1/r²` loss — the β = 2
+/// case where the infinite-plane constant diverges. Transmitters of
+/// density `tx_density_per_m2` each deliver `delivered_w` at their own
+/// hop distance `hop_m` (so they radiate `delivered_w·hop_m²`), spread
+/// between `r_min_m` (closest interferer considered) and `r_max_m` (the
+/// network radius):
+///
+/// `I̅ = 2π·λ·S̄·r̄²·ln(r_max/r_min)`
+///
+/// — the same logarithmic din structure as the source paper's §4
+/// `S/N ≈ 1/(π·η·ln M)`.
+///
+/// ```
+/// use parn_phys::capacity::mean_din_w;
+/// let i = mean_din_w(1e-4, 1e-6, 20.0, 10.0, 1000.0);
+/// assert!(i > 0.0);
+/// // Widening the disk only grows the din logarithmically.
+/// let i10 = mean_din_w(1e-4, 1e-6, 20.0, 10.0, 10_000.0);
+/// assert!(i10 / i < 2.0);
+/// ```
+pub fn mean_din_w(
+    tx_density_per_m2: f64,
+    delivered_w: f64,
+    hop_m: f64,
+    r_min_m: f64,
+    r_max_m: f64,
+) -> f64 {
+    assert!(r_max_m > r_min_m && r_min_m > 0.0);
+    2.0 * PI * tx_density_per_m2 * delivered_w * hop_m * hop_m * (r_max_m / r_min_m).ln()
+}
+
+/// Coverage probability at a given mean SINR under the
+/// Błaszczyszyn–Mühlethaler Rayleigh-signal model,
+/// `p = P(S > θ·(I+N)) ≈ exp(−θ / SINR̄)` with `SINR̄ = S̄/(I̅+N)` —
+/// the mean-interference evaluation of their Laplace-transform coverage
+/// result, which is what remains computable at β = 2 in a finite disk.
+///
+/// ```
+/// use parn_phys::capacity::coverage_at_mean_sinr;
+/// assert!(coverage_at_mean_sinr(0.05, 10.0) > 0.99);
+/// assert!(coverage_at_mean_sinr(1.0, 0.1) < 1e-4);
+/// ```
+pub fn coverage_at_mean_sinr(theta: f64, mean_sinr: f64) -> f64 {
+    if mean_sinr <= 0.0 {
+        return 0.0;
+    }
+    (-theta / mean_sinr).exp()
+}
+
+/// Mean source–destination distance induced by gravity-weighted
+/// destinations: `E[r]` under `p(r) ∝ r^(1-α)` on `[r_min, r_max]` — the
+/// exact marginal the [`GravitySampler`](crate::GravitySampler) draws
+/// its radius from.
+///
+/// ```
+/// use parn_phys::capacity::gravity_mean_distance;
+/// // α = 2 on [10, 1000] m: E[r] = (r_max − r_min)/ln(r_max/r_min).
+/// let d = gravity_mean_distance(2.0, 10.0, 1000.0);
+/// assert!((d - 990.0 / 100f64.ln()).abs() < 1e-9);
+/// // Uniform-in-area (α = 0) reaches much farther than α = 3.
+/// assert!(gravity_mean_distance(0.0, 10.0, 1000.0) > gravity_mean_distance(3.0, 10.0, 1000.0));
+/// ```
+pub fn gravity_mean_distance(alpha: f64, r_min: f64, r_max: f64) -> f64 {
+    assert!(r_max > r_min && r_min > 0.0);
+    // E[r] = ∫ r·r^(1-α) dr / ∫ r^(1-α) dr on [r_min, r_max].
+    let moment = |p: f64| -> f64 {
+        // ∫ r^p dr on [r_min, r_max].
+        if (p + 1.0).abs() < 1e-9 {
+            (r_max / r_min).ln()
+        } else {
+            (r_max.powf(p + 1.0) - r_min.powf(p + 1.0)) / (p + 1.0)
+        }
+    };
+    moment(2.0 - alpha) / moment(1.0 - alpha)
+}
+
+/// Expected hop count of a flow of length `distance_m` over hops of
+/// nominal length `hop_m`, floored at one hop.
+///
+/// ```
+/// use parn_phys::capacity::mean_hops;
+/// assert_eq!(mean_hops(100.0, 20.0), 5.0);
+/// assert_eq!(mean_hops(3.0, 20.0), 1.0);
+/// ```
+pub fn mean_hops(distance_m: f64, hop_m: f64) -> f64 {
+    (distance_m / hop_m).max(1.0)
+}
+
+/// The Mhatre–Rosenberg / Gupta–Kumar relaying bound on per-station
+/// saturation arrival rate: if every station can complete at most
+/// `per_station_service_pps` hop transmissions per second and a mean
+/// flow needs `mean_hops` of them, the sustainable end-to-end arrival
+/// rate per station is at most `service / h̄`.
+///
+/// ```
+/// use parn_phys::capacity::saturation_arrival_bound;
+/// assert_eq!(saturation_arrival_bound(40.0, 5.0), 8.0);
+/// ```
+pub fn saturation_arrival_bound(per_station_service_pps: f64, mean_hops: f64) -> f64 {
+    assert!(mean_hops >= 1.0);
+    per_station_service_pps / mean_hops
+}
+
+/// The random-network per-node capacity scaling envelope,
+/// `Θ(1/√(n·ln n))` (Gupta–Kumar; Mhatre–Rosenberg show the realistic
+/// link layer keeps the same order). Unnormalized — use ratios across
+/// `n`, not absolute values.
+///
+/// ```
+/// use parn_phys::capacity::per_node_capacity_scaling;
+/// let r = per_node_capacity_scaling(1e3) / per_node_capacity_scaling(1e5);
+/// assert!(r > 10.0 && r < 13.0, "two decades of n ≈ 11–12× per-node rate");
+/// ```
+pub fn per_node_capacity_scaling(n: f64) -> f64 {
+    assert!(n > 1.0);
+    1.0 / (n * n.ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_constant_matches_known_points() {
+        // β = 4: C = π²/2 ≈ 4.9348.
+        let c4 = aloha_spatial_constant(4.0).unwrap();
+        assert!((c4 - 4.934_802_200_544_679).abs() < 1e-9);
+        // β = 3: 2π²/(3·sin(2π/3)).
+        let c3 = aloha_spatial_constant(3.0).unwrap();
+        assert!((c3 - 2.0 * PI * PI / (3.0 * (2.0 * PI / 3.0).sin())).abs() < 1e-12);
+        assert!(aloha_spatial_constant(1.9).is_none());
+    }
+
+    #[test]
+    fn coverage_monotone_in_load_and_threshold() {
+        let p_light = aloha_coverage_infinite(1e-5, 3.0, 0.1, 20.0).unwrap();
+        let p_heavy = aloha_coverage_infinite(1e-3, 3.0, 0.1, 20.0).unwrap();
+        assert!(p_light > p_heavy);
+        let p_easy = coverage_at_mean_sinr(0.01, 1.0);
+        let p_hard = coverage_at_mean_sinr(0.5, 1.0);
+        assert!(p_easy > p_hard);
+    }
+
+    #[test]
+    fn din_matches_hand_integral() {
+        // λ = 1e-4/m², S̄ = 1 µW, hop 20 m, disk 10..1000 m:
+        // I̅ = 2π·1e-4·1e-6·400·ln(100).
+        let i = mean_din_w(1e-4, 1e-6, 20.0, 10.0, 1000.0);
+        let expected = 2.0 * PI * 1e-4 * 1e-6 * 400.0 * 100f64.ln();
+        assert!((i - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gravity_distance_sane_across_alpha() {
+        for alpha in [0.0, 1.0, 1.5, 2.0, 3.0] {
+            let d = gravity_mean_distance(alpha, 10.0, 500.0);
+            assert!((10.0..=500.0).contains(&d), "α={alpha}: {d}");
+        }
+        // α = 1 hits the p = -1 log branch of the denominator integral
+        // (∫ r^0 dr is regular; ∫ r^1 dr regular) — and α = 3 the
+        // numerator one. Both must stay finite and ordered.
+        assert!(gravity_mean_distance(1.0, 10.0, 500.0) > gravity_mean_distance(3.0, 10.0, 500.0));
+    }
+
+    #[test]
+    fn relaying_bound_composes() {
+        let h = mean_hops(gravity_mean_distance(2.0, 10.0, 1000.0), 20.0);
+        let lambda = saturation_arrival_bound(100.0, h);
+        assert!(lambda > 0.0 && lambda < 100.0);
+    }
+}

@@ -17,10 +17,15 @@
 //! * [`sinr`] — the incremental interference tracker used by every MAC in
 //!   the workspace (interference is the *power sum* of concurrent
 //!   transmissions — no success-if-exclusive shortcut);
-//! * [`linkbudget`] — system sizing and the metro-scale projection.
+//! * [`linkbudget`] — system sizing and the metro-scale projection;
+//! * [`sample`] — distance-weighted (gravity) destination sampling over
+//!   the spatial index;
+//! * [`capacity`] — closed-form Aloha-coverage and ad-hoc-capacity
+//!   references for the saturation envelope (E7).
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod gainmodel;
 pub mod gains;
 pub mod geom;
@@ -29,6 +34,7 @@ pub mod linkbudget;
 pub mod noise;
 pub mod placement;
 pub mod propagation;
+pub mod sample;
 pub mod shannon;
 pub mod sic;
 pub mod sinr;
@@ -39,6 +45,7 @@ pub use gains::{GainMatrix, StationId};
 pub use geom::{Disk, Point};
 pub use grid::GridIndex;
 pub use propagation::{FreeSpace, Propagation};
+pub use sample::GravitySampler;
 pub use shannon::ReceptionCriterion;
 pub use sinr::{ReceptionReport, RxId, SinrTracker, TxId};
 pub use units::{Db, Gain, PowerW};

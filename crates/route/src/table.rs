@@ -9,7 +9,7 @@
 use crate::bellman_ford::DistributedBellmanFord;
 use crate::dijkstra::dijkstra;
 use crate::graph::EnergyGraph;
-use parn_phys::StationId;
+use parn_phys::{Point, StationId};
 use parn_sim::Rng;
 use std::collections::HashSet;
 
@@ -37,7 +37,10 @@ pub struct RouteTable {
 /// `OneHop` stores only the direct usable edges (O(E)) for workloads
 /// whose destinations are always one hop away (`DestPolicy::Neighbors`
 /// traffic at metro scale), where an all-pairs table would dwarf the
-/// rest of the simulation's memory.
+/// rest of the simulation's memory. `Greedy` is the other O(E) option
+/// that still routes *multi-hop*: next hops are computed on demand by
+/// strict-progress geographic forwarding over the stored adjacency plus
+/// station positions.
 #[derive(Clone, Debug)]
 enum Repr {
     Dense {
@@ -46,6 +49,10 @@ enum Repr {
     },
     OneHop {
         adj: Vec<Vec<(StationId, f64)>>,
+    },
+    Greedy {
+        adj: Vec<Vec<(StationId, f64)>>,
+        positions: Vec<Point>,
     },
 }
 
@@ -119,6 +126,28 @@ impl RouteTable {
         }
     }
 
+    /// Build a greedy geographic table: `next_hop(s, d)` is the usable
+    /// neighbour of `s` strictly closer to `d`'s position than `s` is
+    /// (nearest-to-destination, lower id on ties), computed on demand.
+    /// O(E) memory like [`one_hop`](RouteTable::one_hop), but routes
+    /// multi-hop — the only all-pairs-free option for far-destination
+    /// traffic at metro scale. Greedy forwarding can dead-end at a local
+    /// minimum (a station with no neighbour closer to the destination);
+    /// such packets surface as `Unroutable` drops in the simulator, and
+    /// the capacity envelope (E7) reports them rather than hiding them.
+    pub fn greedy(graph: &EnergyGraph, positions: &[Point]) -> RouteTable {
+        let n = graph.len();
+        assert_eq!(positions.len(), n, "one position per station");
+        let adj = (0..n).map(|s| graph.neighbors(s).to_vec()).collect();
+        RouteTable {
+            n,
+            repr: Repr::Greedy {
+                adj,
+                positions: positions.to_vec(),
+            },
+        }
+    }
+
     /// Number of stations.
     pub fn len(&self) -> usize {
         self.n
@@ -142,6 +171,32 @@ impl RouteTable {
                     adj[src].iter().any(|&(t, _)| t == dst).then_some(dst)
                 }
             }
+            Repr::Greedy { adj, positions } => {
+                if src == dst {
+                    return None;
+                }
+                let here = positions[src].distance_sq(positions[dst]);
+                let mut best: Option<(f64, StationId)> = None;
+                for &(h, _) in &adj[src] {
+                    if h == dst {
+                        // Distance zero — nothing can beat the destination
+                        // itself, so adjacent destinations always route
+                        // direct (keeps Neighbors-style traffic exact).
+                        return Some(dst);
+                    }
+                    let d2 = positions[h].distance_sq(positions[dst]);
+                    if d2 < here {
+                        let better = match best {
+                            None => true,
+                            Some((bd2, bh)) => d2 < bd2 || (d2 == bd2 && h < bh),
+                        };
+                        if better {
+                            best = Some((d2, h));
+                        }
+                    }
+                }
+                best.map(|(_, h)| h)
+            }
         }
     }
 
@@ -158,6 +213,32 @@ impl RouteTable {
                         .find(|&&(t, _)| t == dst)
                         .map_or(f64::INFINITY, |&(_, c)| c)
                 }
+            }
+            Repr::Greedy { adj, .. } => {
+                // No stored cost: walk the greedy path and sum edge
+                // energies. Strict progress bounds the walk; a dead end
+                // is unreachable (∞), matching `next_hop`.
+                if src == dst {
+                    return 0.0;
+                }
+                let mut total = 0.0;
+                let mut cur = src;
+                let mut steps = 0usize;
+                while cur != dst {
+                    let Some(h) = self.next_hop(cur, dst) else {
+                        return f64::INFINITY;
+                    };
+                    let Some(&(_, c)) = adj[cur].iter().find(|&&(t, _)| t == h) else {
+                        return f64::INFINITY;
+                    };
+                    total += c;
+                    cur = h;
+                    steps += 1;
+                    if steps > self.n {
+                        return f64::INFINITY;
+                    }
+                }
+                total
             }
         }
     }
@@ -207,7 +288,9 @@ impl RouteTable {
                 v.sort();
                 v
             }
-            Repr::OneHop { adj } => {
+            Repr::OneHop { adj } | Repr::Greedy { adj, .. } => {
+                // For greedy this is the candidate set: every usable edge
+                // can be the argmin for destinations clustered behind it.
                 let mut v: Vec<StationId> = adj[src].iter().map(|&(t, _)| t).collect();
                 v.sort();
                 v.dedup();
@@ -242,7 +325,7 @@ impl RouteTable {
                     }
                 }
             }
-            Repr::OneHop { adj } => {
+            Repr::OneHop { adj } | Repr::Greedy { adj, .. } => {
                 let mut seen = vec![usize::MAX; self.n];
                 for (src, out) in adj.iter().enumerate() {
                     for &(h, _) in out {
@@ -437,6 +520,79 @@ mod tests {
         assert!(t.reachable(0, 0));
         assert!(!t.reachable(0, 3));
         assert!(t.check_consistency(&g).is_ok());
+    }
+
+    /// Four stations on a line at x = 0, 10, 20, 30, edges between
+    /// consecutive pairs plus a 0–2 shortcut (cost-irrelevant here —
+    /// greedy steers by geometry, not energy).
+    fn line() -> (EnergyGraph, Vec<Point>) {
+        let g = chain();
+        let positions = (0..4).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        (g, positions)
+    }
+
+    #[test]
+    fn greedy_makes_strict_progress_to_multi_hop_destinations() {
+        let (g, pos) = line();
+        let t = RouteTable::greedy(&g, &pos);
+        // From 0 toward 3: the 0–2 shortcut is geometrically closest.
+        assert_eq!(t.next_hop(0, 3), Some(2));
+        assert_eq!(t.path(0, 3), Some(vec![0, 2, 3]));
+        assert_eq!(t.hops(0, 3), Some(2));
+        // Adjacent destination routes direct even when a relay is nearer
+        // the straight line.
+        assert_eq!(t.next_hop(0, 2), Some(2));
+        assert_eq!(t.next_hop(1, 1), None);
+        // Cost is the summed edge energy of the walked path: 0-2 (3.0)
+        // then 2-3 (1.0).
+        assert_eq!(t.cost(0, 3), 4.0);
+        assert_eq!(t.cost(2, 2), 0.0);
+        assert!(t.fully_connected());
+        assert!(t.check_consistency(&g).is_ok());
+    }
+
+    #[test]
+    fn greedy_dead_end_is_unreachable() {
+        // 0 at the origin wants to reach 2 far to the left, but its only
+        // neighbour 1 sits to the *right* — no strict progress exists.
+        let g = EnergyGraph::from_edges(3, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(-50.0, 0.0),
+        ];
+        let t = RouteTable::greedy(&g, &pos);
+        assert_eq!(t.next_hop(0, 2), None);
+        assert!(!t.reachable(0, 2));
+        assert_eq!(t.cost(0, 2), f64::INFINITY);
+        assert!(!t.fully_connected());
+    }
+
+    #[test]
+    fn greedy_ties_break_toward_lower_id() {
+        // 1 and 2 are mirror images across the 0→3 axis: equal progress.
+        let g = EnergyGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+                (1, 0, 1.0),
+                (2, 0, 1.0),
+                (3, 1, 1.0),
+                (3, 2, 1.0),
+            ],
+        );
+        let pos = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 5.0),
+            Point::new(10.0, -5.0),
+            Point::new(20.0, 0.0),
+        ];
+        let t = RouteTable::greedy(&g, &pos);
+        assert_eq!(t.next_hop(0, 3), Some(1));
+        assert_eq!(t.path(0, 3), Some(vec![0, 1, 3]));
     }
 
     #[test]

@@ -260,6 +260,155 @@ impl TimeWeighted {
     }
 }
 
+/// Time-weighted histogram of a piecewise-constant signal.
+///
+/// Where [`TimeWeighted`] reduces the signal to its average and peak, this
+/// collector keeps the full *dwell-time distribution*: how long the signal
+/// spent at each integer level (queue depths, outstanding transmissions).
+/// Levels at or above the bin count accumulate in a shared overflow bin,
+/// so memory stays bounded however deep a saturated queue grows.
+///
+/// Quantiles are over **time**, not samples: `quantile(0.95)` is the
+/// smallest level the signal stayed at-or-below for 95% of the observed
+/// span. Call [`freeze`](TimeWeightedHist::freeze) once at the end of the
+/// run to fold in the final dwell before reading statistics.
+#[derive(Clone, Debug)]
+pub struct TimeWeightedHist {
+    value: f64,
+    last_change: Time,
+    max: f64,
+    /// Seconds spent at level `i` (the signal floored to an integer).
+    dwell_s: Vec<f64>,
+    /// Seconds spent at levels `>= dwell_s.len()`.
+    overflow_s: f64,
+    /// Time-weighted integral of the signal (for the mean).
+    integral: f64,
+    total_s: f64,
+}
+
+impl TimeWeightedHist {
+    /// Start tracking at `start` with an initial value, binning levels
+    /// `0..levels` individually (higher levels pool in overflow).
+    pub fn new(start: Time, initial: f64, levels: usize) -> TimeWeightedHist {
+        assert!(levels > 0, "need at least one level bin");
+        TimeWeightedHist {
+            value: initial,
+            last_change: start,
+            max: initial,
+            dwell_s: vec![0.0; levels],
+            overflow_s: 0.0,
+            integral: 0.0,
+            total_s: 0.0,
+        }
+    }
+
+    fn accumulate(&mut self, now: Time) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        let dt = now.since(self.last_change).as_secs_f64();
+        if dt > 0.0 {
+            let level = self.value.max(0.0).floor() as usize;
+            match self.dwell_s.get_mut(level) {
+                Some(slot) => *slot += dt,
+                None => self.overflow_s += dt,
+            }
+            self.integral += self.value * dt;
+            self.total_s += dt;
+        }
+        self.last_change = now;
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    pub fn set(&mut self, now: Time, value: f64) {
+        self.accumulate(now);
+        self.value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Add `delta` to the current value at time `now`.
+    pub fn adjust(&mut self, now: Time, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Fold the dwell since the last change into the books, up to `now`.
+    /// Statistics read after this reflect the whole `[start, now]` span.
+    pub fn freeze(&mut self, now: Time) {
+        self.accumulate(now);
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Total observed span in seconds (through the last `set`/`freeze`).
+    pub fn total_s(&self) -> f64 {
+        self.total_s
+    }
+
+    /// Time-weighted mean of the signal (0 before any time has passed).
+    pub fn mean(&self) -> f64 {
+        if self.total_s <= 0.0 {
+            0.0
+        } else {
+            self.integral / self.total_s
+        }
+    }
+
+    /// Seconds the signal spent at integer level `i`.
+    pub fn dwell_at(&self, i: usize) -> f64 {
+        self.dwell_s.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Seconds spent at levels beyond the last tracked bin.
+    pub fn overflow_s(&self) -> f64 {
+        self.overflow_s
+    }
+
+    /// Time-weighted q-quantile: the smallest level such that the signal
+    /// was at-or-below it for at least fraction `q` of the span. Levels in
+    /// the overflow pool report as the first untracked level. `None`
+    /// before any time has passed.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total_s <= 0.0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.total_s;
+        let mut cum = 0.0;
+        for (level, &dt) in self.dwell_s.iter().enumerate() {
+            cum += dt;
+            // Tolerate last-bit rounding so quantile(1.0) lands on the
+            // deepest occupied bin instead of spilling to overflow.
+            if cum + 1e-12 >= target {
+                return Some(level as f64);
+            }
+        }
+        Some(self.dwell_s.len() as f64)
+    }
+
+    /// Summary as a JSON object (`mean`/`p50`/`p95`/`p99`/`max`, plus the
+    /// observed span and overflow dwell); quantiles of an unobserved
+    /// signal serialize as `null`.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        crate::json::obj([
+            ("mean", self.mean().into()),
+            ("p50", opt(self.quantile(0.5))),
+            ("p95", opt(self.quantile(0.95))),
+            ("p99", opt(self.quantile(0.99))),
+            ("max", self.max().into()),
+            ("span_s", self.total_s.into()),
+            ("overflow_s", self.overflow_s.into()),
+        ])
+    }
+}
+
 /// A labelled monotonic counter, convenient for loss/cause accounting.
 #[derive(Clone, Debug, Default)]
 pub struct Counter(u64);
@@ -371,6 +520,49 @@ mod tests {
         let w = TimeWeighted::new(Time::from_secs(5), 7.0);
         assert_eq!(w.average(Time::from_secs(5)), 7.0);
         let _ = Duration::ZERO;
+    }
+
+    #[test]
+    fn time_weighted_hist_dwell_and_quantiles() {
+        let mut h = TimeWeightedHist::new(Time::ZERO, 0.0, 8);
+        h.set(Time::from_secs(5), 1.0); // level 0 for 5 s
+        h.set(Time::from_secs(9), 3.0); // level 1 for 4 s
+        h.freeze(Time::from_secs(10)); // level 3 for 1 s
+        assert!((h.dwell_at(0) - 5.0).abs() < 1e-12);
+        assert!((h.dwell_at(1) - 4.0).abs() < 1e-12);
+        assert!((h.dwell_at(3) - 1.0).abs() < 1e-12);
+        assert!((h.total_s() - 10.0).abs() < 1e-12);
+        // integral = 0*5 + 1*4 + 3*1 = 7 over 10 s.
+        assert!((h.mean() - 0.7).abs() < 1e-12);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert_eq!(h.quantile(0.9), Some(1.0));
+        assert_eq!(h.quantile(0.95), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(3.0));
+        assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_hist_overflow_and_adjust() {
+        let mut h = TimeWeightedHist::new(Time::ZERO, 0.0, 2);
+        h.adjust(Time::from_secs(1), 5.0); // level 0 for 1 s
+        h.adjust(Time::from_secs(3), -5.0); // level 5 (overflow) for 2 s
+        h.freeze(Time::from_secs(4)); // level 0 for 1 s
+        assert!((h.overflow_s() - 2.0).abs() < 1e-12);
+        assert!((h.dwell_at(0) - 2.0).abs() < 1e-12);
+        // Half the span sits in overflow: p99 reports the first untracked
+        // level.
+        assert_eq!(h.quantile(0.99), Some(2.0));
+        let s = h.to_json().to_string();
+        assert!(s.contains("\"p95\""), "{s}");
+        assert!(s.contains("\"overflow_s\":2"), "{s}");
+    }
+
+    #[test]
+    fn time_weighted_hist_empty() {
+        let h = TimeWeightedHist::new(Time::ZERO, 0.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.to_json().to_string().contains("\"p50\":null"));
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! ```text
 //! parn run [--stations N] [--seed S] [--rate R] [--secs T] [--p P]
 //!          [--drift PPM] [--shadowing DB] [--neighbors] [--piggyback SECS]
+//!          [--traffic uniform|neighbors|gravity[:EXP]|hotspot[:SINKS[:SKEW]]]
+//!          [--burst ON_S:OFF_S]
 //!          [--fail T:ID]... [--fail-recover T:ID:DOWN]... [--jam T:ID:SECS]...
-//!          [--route centralized|distributed|one-hop]
+//!          [--route centralized|distributed|one-hop|greedy]
 //!          [--heal oracle|local] [--verbose]
 //! parn capacity [--stations M] [--bandwidth-mhz W] [--eta E]
 //! parn sweep-p [--stations N] [--rate R]
@@ -12,7 +14,8 @@
 //! ```
 
 use parn::core::{
-    DestPolicy, FaultPlan, HealConfig, LossCause, NetConfig, Network, RouteMode, SyncMode,
+    DestPolicy, FaultPlan, HealConfig, LossCause, NetConfig, Network, RouteMode, SourceModel,
+    SyncMode,
 };
 use parn::phys::linkbudget::SystemDesign;
 use parn::phys::PowerW;
@@ -97,6 +100,20 @@ fn cmd_run(args: &Args) -> ExitCode {
     if args.has("neighbors") {
         cfg.traffic.dest = DestPolicy::Neighbors;
     }
+    if let Some(spec) = args.get("traffic") {
+        cfg.traffic.dest = parse_traffic(spec);
+    }
+    if let Some(spec) = args.get("burst") {
+        let Some((on, off)) = spec.split_once(':') else {
+            die("--burst expects ON_SECS:OFF_SECS");
+        };
+        let on_mean_s: f64 = on.parse().unwrap_or_else(|_| die("--burst: bad on time"));
+        let off_mean_s: f64 = off.parse().unwrap_or_else(|_| die("--burst: bad off time"));
+        cfg.traffic.source = SourceModel::OnOff {
+            on_mean_s,
+            off_mean_s,
+        };
+    }
     if let Some(h) = args.get("piggyback") {
         let secs: f64 = h
             .parse()
@@ -154,8 +171,9 @@ fn cmd_run(args: &Args) -> ExitCode {
         None | Some("centralized") => cfg.route_mode = RouteMode::Centralized,
         Some("distributed") => cfg.route_mode = RouteMode::Distributed,
         Some("one-hop") => cfg.route_mode = RouteMode::OneHop,
+        Some("greedy") => cfg.route_mode = RouteMode::Greedy,
         Some(other) => die(&format!(
-            "--route: expected 'centralized', 'distributed' or 'one-hop', got '{other}'"
+            "--route: expected 'centralized', 'distributed', 'one-hop' or 'greedy', got '{other}'"
         )),
     }
     match args.get("heal") {
@@ -214,6 +232,50 @@ fn cmd_run(args: &Args) -> ExitCode {
     } else {
         println!("collision-free: FAILED");
         ExitCode::FAILURE
+    }
+}
+
+/// Parse a `--traffic` destination spec:
+/// `uniform`, `neighbors`, `gravity[:EXPONENT]`, `hotspot[:SINKS[:SKEW]]`.
+fn parse_traffic(spec: &str) -> DestPolicy {
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    match (kind, args.as_slice()) {
+        ("uniform", []) => DestPolicy::UniformAll,
+        ("neighbors", []) => DestPolicy::Neighbors,
+        ("gravity", rest) => {
+            let exponent = match rest {
+                [] => 2.0,
+                [e] => e
+                    .parse()
+                    .unwrap_or_else(|_| die("--traffic gravity: bad exponent")),
+                _ => die("--traffic gravity expects at most gravity:EXPONENT"),
+            };
+            DestPolicy::Gravity { exponent }
+        }
+        ("hotspot", rest) => {
+            let (sinks, skew) = match rest {
+                [] => (4, 1.0),
+                [s] => (
+                    s.parse()
+                        .unwrap_or_else(|_| die("--traffic hotspot: bad sink count")),
+                    1.0,
+                ),
+                [s, k] => (
+                    s.parse()
+                        .unwrap_or_else(|_| die("--traffic hotspot: bad sink count")),
+                    k.parse()
+                        .unwrap_or_else(|_| die("--traffic hotspot: bad skew")),
+                ),
+                _ => die("--traffic hotspot expects at most hotspot:SINKS:SKEW"),
+            };
+            DestPolicy::Hotspot { sinks, skew }
+        }
+        _ => die(&format!(
+            "--traffic: expected 'uniform', 'neighbors', 'gravity[:EXP]' or \
+             'hotspot[:SINKS[:SKEW]]', got '{spec}'"
+        )),
     }
 }
 
@@ -277,9 +339,10 @@ fn usage() {
          USAGE:\n\
            parn run [--stations N] [--seed S] [--rate R] [--secs T] [--p P]\n\
                     [--drift PPM] [--shadowing DB] [--neighbors]\n\
-                    [--piggyback SECS] [--fail T:ID]...\n\
+                    [--traffic uniform|neighbors|gravity[:EXP]|hotspot[:SINKS[:SKEW]]]\n\
+                    [--burst ON_S:OFF_S] [--piggyback SECS] [--fail T:ID]...\n\
                     [--fail-recover T:ID:DOWN]... [--jam T:ID:SECS]...\n\
-                    [--route centralized|distributed|one-hop]\n\
+                    [--route centralized|distributed|one-hop|greedy]\n\
                     [--heal oracle|local] [--verbose]\n\
            parn capacity [--stations M] [--bandwidth-mhz W] [--eta E]\n\
            parn sweep-p [--stations N] [--rate R]\n\
