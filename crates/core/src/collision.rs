@@ -71,7 +71,11 @@ pub fn classify(report: &ReceptionReport) -> (CollisionKinds, LossCause) {
 /// *jammer* interferer overrides the protocol taxonomy entirely: the loss
 /// is [`LossCause::Jammed`] (deliberate interference is not a collision
 /// the scheme could have scheduled around), and jammers never contribute
-/// to the reported [`CollisionKinds`].
+/// to the reported [`CollisionKinds`]. A significant Byzantine schedule
+/// *violator* likewise overrides the taxonomy (the loss is
+/// [`LossCause::Violation`] — the scheme cannot schedule around a station
+/// that ignores its published windows), except that a concurrent
+/// significant jammer still takes precedence.
 pub fn classify_with(
     report: &ReceptionReport,
     significance_fraction: f64,
@@ -81,6 +85,7 @@ pub fn classify_with(
     let mut kinds = CollisionKinds::default();
     let mut primary: Option<&Blame> = None;
     let mut jammed = false;
+    let mut violated = false;
     for b in &report.blame {
         if b.contribution.value() < floor {
             continue; // part of the din, not a collision
@@ -88,6 +93,10 @@ pub fn classify_with(
         if b.jammer {
             jammed = true;
             continue; // adversarial interference, outside the §5 taxonomy
+        }
+        if b.violator {
+            violated = true;
+            continue; // out-of-window emission, outside the §5 taxonomy
         }
         let k = kind_of(b, report.rx);
         kinds.type1 |= k.type1;
@@ -102,6 +111,9 @@ pub fn classify_with(
     }
     if jammed {
         return (kinds, LossCause::Jammed);
+    }
+    if violated {
+        return (kinds, LossCause::Violation);
     }
     let Some(primary) = primary else {
         return (CollisionKinds::default(), LossCause::Din);
@@ -139,6 +151,7 @@ mod tests {
             intended_rx: intended,
             contribution: PowerW(p),
             jammer: false,
+            violator: false,
         }
     }
 
@@ -148,6 +161,17 @@ mod tests {
             intended_rx: None,
             contribution: PowerW(p),
             jammer: true,
+            violator: false,
+        }
+    }
+
+    fn violator(station: StationId, p: f64) -> Blame {
+        Blame {
+            station,
+            intended_rx: None,
+            contribution: PowerW(p),
+            jammer: false,
+            violator: true,
         }
     }
 
@@ -251,6 +275,37 @@ mod tests {
         let (k, cause) = classify(&r);
         assert!(k.type2);
         assert_eq!(cause, LossCause::Jammed);
+    }
+
+    #[test]
+    fn significant_violator_is_violation_not_collision() {
+        let r = report(5, vec![violator(2, 1.0)]);
+        let (k, cause) = classify(&r);
+        assert_eq!(k, CollisionKinds::default());
+        assert_eq!(cause, LossCause::Violation);
+    }
+
+    #[test]
+    fn violator_overrides_concurrent_protocol_interferers() {
+        let r = report(5, vec![violator(2, 10.0), blame(7, Some(5), 8.0)]);
+        let (k, cause) = classify(&r);
+        assert!(k.type2);
+        assert_eq!(cause, LossCause::Violation);
+    }
+
+    #[test]
+    fn jammer_takes_precedence_over_violator() {
+        let r = report(5, vec![jammer(2, 10.0), violator(3, 10.0)]);
+        let (_, cause) = classify(&r);
+        assert_eq!(cause, LossCause::Jammed);
+    }
+
+    #[test]
+    fn insignificant_violator_is_just_din() {
+        let mut r = report(5, vec![violator(2, 0.1)]);
+        r.interference_at_failure = PowerW(1.0);
+        let (_, cause) = classify(&r);
+        assert_eq!(cause, LossCause::Din);
     }
 
     #[test]

@@ -19,6 +19,33 @@ use parn_phys::PowerW;
 use parn_sim::json::{obj, Json};
 use parn_sim::{Duration, Rng};
 
+pub use parn_phys::partition::CutAxis;
+
+/// How a Byzantine station misbehaves (see [`FaultKind::Byzantine`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByzMode {
+    /// Schedule violator (§7.3 attack): the station transmits rogue
+    /// bursts outside its published windows, colliding with receptions
+    /// it is supposed to protect. Losses it causes classify as
+    /// [`crate::LossCause::Violation`].
+    Violator,
+    /// Route poisoner: while the fault is active, every distance-vector
+    /// advertisement the station sends claims zero-cost zero-hop routes
+    /// to every destination — the classic black-hole attack on
+    /// Bellman–Ford. Inert outside `RouteMode::Distributed`.
+    Poisoner,
+}
+
+impl ByzMode {
+    /// Short machine-readable tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ByzMode::Violator => "violator",
+            ByzMode::Poisoner => "poisoner",
+        }
+    }
+}
+
 /// What kind of fault strikes a station.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultKind {
@@ -49,6 +76,42 @@ pub enum FaultKind {
         /// Jammer radiated power.
         power: PowerW,
     },
+    /// A geographic partition: a shadowing transient along a straight
+    /// cut that attenuates every link crossing it for `for_`, then
+    /// lifts. Regions sever **without any station dying** — both sides
+    /// keep their clocks, schedules and traffic; only cross-cut links
+    /// fade. The `station` field of the event is ignored (the cut is a
+    /// region, not a station).
+    Partition {
+        /// Orientation of the cut line.
+        axis: CutAxis,
+        /// Position of the line along its perpendicular axis (meters).
+        offset: f64,
+        /// Attenuation applied to severed links, in dB (> 0; applied as
+        /// a power division).
+        atten_db: f64,
+        /// How long the partition lasts before healing.
+        for_: Duration,
+    },
+    /// A Byzantine station: keeps running the protocol outwardly but
+    /// misbehaves per `mode` for `for_` (see [`ByzMode`]).
+    Byzantine {
+        /// The misbehavior.
+        mode: ByzMode,
+        /// How long the station misbehaves before reverting.
+        for_: Duration,
+    },
+    /// A budget-limited reactive jammer anchored near `station`: it
+    /// senses ongoing data receptions and jams each one it can afford,
+    /// spending air-time from `budget` subject to a `duty` cap (the
+    /// (1−ε)-fraction adversary of the competitive-MAC literature). The
+    /// fault stays armed until the budget is exhausted or the run ends.
+    ReactiveJam {
+        /// Total jam air-time the adversary may spend.
+        budget: Duration,
+        /// Maximum fraction of elapsed wall time spent jamming (0, 1].
+        duty: f64,
+    },
 }
 
 impl FaultKind {
@@ -59,6 +122,9 @@ impl FaultKind {
             FaultKind::CrashRecover { .. } => "crash_recover",
             FaultKind::ClockJump { .. } => "clock_jump",
             FaultKind::Jam { .. } => "jam",
+            FaultKind::Partition { .. } => "partition",
+            FaultKind::Byzantine { .. } => "byzantine",
+            FaultKind::ReactiveJam { .. } => "reactive_jam",
         }
     }
 }
@@ -130,6 +196,51 @@ impl FaultPlan {
         self.with(at, station, FaultKind::Jam { for_, power })
     }
 
+    /// Append a geographic partition along `axis = offset`, attenuating
+    /// severed links by `atten_db` for `for_`. (The per-event station
+    /// field is unused; 0 by convention.)
+    pub fn partition(
+        self,
+        at: Duration,
+        axis: CutAxis,
+        offset: f64,
+        atten_db: f64,
+        for_: Duration,
+    ) -> FaultPlan {
+        self.with(
+            at,
+            0,
+            FaultKind::Partition {
+                axis,
+                offset,
+                atten_db,
+                for_,
+            },
+        )
+    }
+
+    /// Append a Byzantine misbehavior window at `station`.
+    pub fn byzantine(
+        self,
+        at: Duration,
+        station: usize,
+        mode: ByzMode,
+        for_: Duration,
+    ) -> FaultPlan {
+        self.with(at, station, FaultKind::Byzantine { mode, for_ })
+    }
+
+    /// Append a budget-limited reactive jammer anchored at `station`.
+    pub fn reactive_jam(
+        self,
+        at: Duration,
+        station: usize,
+        budget: Duration,
+        duty: f64,
+    ) -> FaultPlan {
+        self.with(at, station, FaultKind::ReactiveJam { budget, duty })
+    }
+
     /// Plan of permanent crashes from `(time, station)` pairs — the shape
     /// of the old `NetConfig::failures` field.
     pub fn crashes(pairs: impl IntoIterator<Item = (Duration, usize)>) -> FaultPlan {
@@ -148,19 +259,27 @@ impl FaultPlan {
     /// Generate a reproducible pseudo-random plan of `count` faults over
     /// `n` stations within `(0, horizon)`.
     ///
-    /// Mix: ~½ crash-recover (down 2–25 % of the horizon), ~¼ permanent
-    /// crashes, ~⅛ clock jumps (±½ slot … ±50 slots at the default
-    /// 100 ns tick), ~⅛ jammer windows (1–10 % of the horizon, 1–10 mW).
+    /// Mix: ~⁴⁄₁₁ crash-recover (down 2–25 % of the horizon), ~²⁄₁₁
+    /// permanent crashes, and one eleventh each of: clock jumps (±½ slot
+    /// … ±50 slots at the default 100 ns tick), jammer windows (1–10 %
+    /// of the horizon, 1–10 mW), geographic partitions (a 20–60 dB cut
+    /// through the paper-density disk, 5–25 % of the horizon), Byzantine
+    /// stations (violator or poisoner, 5–25 % of the horizon), and
+    /// reactive jammers (budget 1–5 % of the horizon, duty 0.2–0.8).
     /// Deterministic in `(seed, n, count, horizon)` and independent of
     /// every other RNG stream in the simulator.
     pub fn generate(seed: u64, n: usize, count: usize, horizon: Duration) -> FaultPlan {
         let mut rng = Rng::new(seed).substream("faultplan");
         let mut plan = FaultPlan::none();
         let h = horizon.as_secs_f64();
+        // Paper-default deployment radius at ρ = 0.01 /m² — partition
+        // offsets drawn inside the middle of the disk so the cut always
+        // crosses populated area.
+        let radius = (n as f64 / (std::f64::consts::PI * 0.01)).sqrt();
         for _ in 0..count {
             let at = Duration::from_secs_f64(rng.range_f64(0.05, 0.95) * h);
             let station = rng.below(n as u64) as usize;
-            let kind = match rng.below(8) {
+            let kind = match rng.below(11) {
                 0..=3 => FaultKind::CrashRecover {
                     down_for: Duration::from_secs_f64(rng.range_f64(0.02, 0.25) * h),
                 },
@@ -176,9 +295,31 @@ impl FaultPlan {
                         }
                     },
                 },
-                _ => FaultKind::Jam {
+                7 => FaultKind::Jam {
                     for_: Duration::from_secs_f64(rng.range_f64(0.01, 0.10) * h),
                     power: PowerW(rng.range_f64(1e-3, 1e-2)),
+                },
+                8 => FaultKind::Partition {
+                    axis: if rng.below(2) == 0 {
+                        CutAxis::Vertical
+                    } else {
+                        CutAxis::Horizontal
+                    },
+                    offset: rng.range_f64(-0.5, 0.5) * radius,
+                    atten_db: rng.range_f64(20.0, 60.0),
+                    for_: Duration::from_secs_f64(rng.range_f64(0.05, 0.25) * h),
+                },
+                9 => FaultKind::Byzantine {
+                    mode: if rng.below(2) == 0 {
+                        ByzMode::Violator
+                    } else {
+                        ByzMode::Poisoner
+                    },
+                    for_: Duration::from_secs_f64(rng.range_f64(0.05, 0.25) * h),
+                },
+                _ => FaultKind::ReactiveJam {
+                    budget: Duration::from_secs_f64(rng.range_f64(0.01, 0.05) * h),
+                    duty: rng.range_f64(0.2, 0.8),
                 },
             };
             plan = plan.with(at, station, kind);
@@ -211,6 +352,33 @@ impl FaultPlan {
                 FaultKind::ClockJump { ticks: 0 } => {
                     return Err(format!("fault #{i}: zero clock jump"));
                 }
+                FaultKind::Partition {
+                    offset,
+                    atten_db,
+                    for_,
+                    ..
+                } => {
+                    if for_ == Duration::ZERO {
+                        return Err(format!("fault #{i}: zero partition window"));
+                    }
+                    if !atten_db.is_finite() || atten_db <= 0.0 {
+                        return Err(format!("fault #{i}: non-positive partition attenuation"));
+                    }
+                    if !offset.is_finite() {
+                        return Err(format!("fault #{i}: non-finite partition offset"));
+                    }
+                }
+                FaultKind::Byzantine { for_, .. } if for_ == Duration::ZERO => {
+                    return Err(format!("fault #{i}: zero byzantine window"));
+                }
+                FaultKind::ReactiveJam { budget, duty } => {
+                    if budget == Duration::ZERO {
+                        return Err(format!("fault #{i}: zero reactive-jam budget"));
+                    }
+                    if !(duty > 0.0 && duty <= 1.0) {
+                        return Err(format!("fault #{i}: reactive-jam duty outside (0, 1]"));
+                    }
+                }
                 _ => {}
             }
         }
@@ -240,6 +408,32 @@ impl FaultPlan {
                         FaultKind::Jam { for_, power } => {
                             fields.push(("for_s".into(), for_.as_secs_f64().into()));
                             fields.push(("power_w".into(), power.0.into()));
+                        }
+                        FaultKind::Partition {
+                            axis,
+                            offset,
+                            atten_db,
+                            for_,
+                        } => {
+                            fields.push((
+                                "axis".into(),
+                                match axis {
+                                    CutAxis::Vertical => "vertical",
+                                    CutAxis::Horizontal => "horizontal",
+                                }
+                                .into(),
+                            ));
+                            fields.push(("offset_m".into(), offset.into()));
+                            fields.push(("atten_db".into(), atten_db.into()));
+                            fields.push(("for_s".into(), for_.as_secs_f64().into()));
+                        }
+                        FaultKind::Byzantine { mode, for_ } => {
+                            fields.push(("mode".into(), mode.tag().into()));
+                            fields.push(("for_s".into(), for_.as_secs_f64().into()));
+                        }
+                        FaultKind::ReactiveJam { budget, duty } => {
+                            fields.push(("budget_s".into(), budget.as_secs_f64().into()));
+                            fields.push(("duty".into(), duty.into()));
                         }
                     }
                     Json::Obj(fields)
@@ -286,6 +480,18 @@ pub struct HealConfig {
     pub backoff_base: Duration,
     /// [`HealMode::Local`]: backoff cap.
     pub backoff_cap: Duration,
+    /// [`HealMode::Local`]: enable flap damping — each eviction of a
+    /// neighbor adds one point of penalty at the observer; while the
+    /// exponentially decayed penalty is at or above
+    /// [`HealConfig::flap_suppress`], readmission of that neighbor is
+    /// suppressed (retried as the penalty decays). Stops an
+    /// intermittent adversary (e.g. a reactive jammer) from driving
+    /// suspect → evict → readmit oscillation. Off by default.
+    pub flap_damping: bool,
+    /// Penalty threshold at or above which readmission is suppressed.
+    pub flap_suppress: f64,
+    /// Exponential half-life of the flap penalty.
+    pub flap_half_life: Duration,
 }
 
 impl HealConfig {
@@ -298,6 +504,9 @@ impl HealConfig {
             evict_timeout: Duration::from_millis(150),
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(160),
+            flap_damping: false,
+            flap_suppress: 3.0,
+            flap_half_life: Duration::from_secs(1),
         }
     }
 
@@ -327,6 +536,9 @@ impl HealConfig {
             ("evict_timeout_s", self.evict_timeout.as_secs_f64().into()),
             ("backoff_base_s", self.backoff_base.as_secs_f64().into()),
             ("backoff_cap_s", self.backoff_cap.as_secs_f64().into()),
+            ("flap_damping", self.flap_damping.into()),
+            ("flap_suppress", self.flap_suppress.into()),
+            ("flap_half_life_s", self.flap_half_life.as_secs_f64().into()),
         ])
     }
 }
@@ -402,6 +614,97 @@ mod tests {
         assert!(s.contains("crash_recover"), "{s}");
         assert!(s.contains("down_for_s"), "{s}");
         assert!(s.contains("power_w"), "{s}");
+    }
+
+    #[test]
+    fn adversarial_builders_validate_and_serialize() {
+        let p = FaultPlan::none()
+            .partition(
+                Duration::from_secs(1),
+                CutAxis::Vertical,
+                3.5,
+                40.0,
+                Duration::from_secs(2),
+            )
+            .byzantine(
+                Duration::from_secs(2),
+                2,
+                ByzMode::Violator,
+                Duration::from_secs(1),
+            )
+            .byzantine(
+                Duration::from_secs(2),
+                3,
+                ByzMode::Poisoner,
+                Duration::from_secs(1),
+            )
+            .reactive_jam(Duration::from_secs(3), 1, Duration::from_millis(250), 0.5);
+        assert_eq!(p.len(), 4);
+        assert!(p.validate(5).is_ok());
+        let s = p.to_json().to_string();
+        assert!(s.contains("\"kind\":\"partition\""), "{s}");
+        assert!(s.contains("\"axis\":\"vertical\""), "{s}");
+        assert!(s.contains("\"atten_db\":40.0"), "{s}");
+        assert!(s.contains("\"mode\":\"violator\""), "{s}");
+        assert!(s.contains("\"mode\":\"poisoner\""), "{s}");
+        assert!(s.contains("\"kind\":\"reactive_jam\""), "{s}");
+        assert!(s.contains("\"budget_s\":0.25"), "{s}");
+        assert!(s.contains("\"duty\":0.5"), "{s}");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_adversarial_events() {
+        let zero_window = FaultPlan::none().partition(
+            Duration::from_secs(1),
+            CutAxis::Horizontal,
+            0.0,
+            30.0,
+            Duration::ZERO,
+        );
+        assert!(zero_window.validate(4).is_err());
+        let dud_atten = FaultPlan::none().partition(
+            Duration::from_secs(1),
+            CutAxis::Horizontal,
+            0.0,
+            0.0,
+            Duration::from_secs(1),
+        );
+        assert!(dud_atten.validate(4).is_err());
+        let zero_byz = FaultPlan::none().byzantine(
+            Duration::from_secs(1),
+            0,
+            ByzMode::Violator,
+            Duration::ZERO,
+        );
+        assert!(zero_byz.validate(4).is_err());
+        let dud_duty =
+            FaultPlan::none().reactive_jam(Duration::from_secs(1), 0, Duration::from_secs(1), 0.0);
+        assert!(dud_duty.validate(4).is_err());
+        let no_budget =
+            FaultPlan::none().reactive_jam(Duration::from_secs(1), 0, Duration::ZERO, 0.5);
+        assert!(no_budget.validate(4).is_err());
+    }
+
+    #[test]
+    fn generate_covers_the_adversarial_kinds() {
+        // Over enough draws the widened mix must produce every kind.
+        let p = FaultPlan::generate(11, 40, 200, Duration::from_secs(10));
+        assert!(p.validate(40).is_ok());
+        let has = |f: fn(&FaultKind) -> bool| p.events.iter().any(|ev| f(&ev.kind));
+        assert!(has(|k| matches!(k, FaultKind::Partition { .. })));
+        assert!(has(|k| matches!(k, FaultKind::Byzantine { .. })));
+        assert!(has(|k| matches!(k, FaultKind::ReactiveJam { .. })));
+        assert!(has(|k| matches!(k, FaultKind::Crash)));
+    }
+
+    #[test]
+    fn heal_config_json_carries_flap_fields() {
+        let mut h = HealConfig::local();
+        h.flap_damping = true;
+        let s = h.to_json().to_string();
+        assert!(s.contains("\"flap_damping\":true"), "{s}");
+        assert!(s.contains("\"flap_suppress\":3.0"), "{s}");
+        assert!(s.contains("\"flap_half_life_s\":1.0"), "{s}");
     }
 
     #[test]

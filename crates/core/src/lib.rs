@@ -41,7 +41,7 @@ pub use config::{
     ClockConfig, DestPolicy, DvConfig, FarFieldConfig, NeighborProtection, NetConfig, PhyBackend,
     RouteMode, SourceModel, SyncMode, TrafficConfig,
 };
-pub use faults::{FaultEvent, FaultKind, FaultPlan, HealConfig, HealMode};
+pub use faults::{ByzMode, CutAxis, FaultEvent, FaultKind, FaultPlan, HealConfig, HealMode};
 pub use metrics::Metrics;
 pub use network::{Event, Network};
 pub use packet::{ControlPayload, LossCause, Packet, PacketKind};

@@ -124,6 +124,11 @@ pub enum LossCause {
     /// passed through (a transient distance-vector loop); dropped at the
     /// holder instead of cycling.
     RoutingLoop,
+    /// SINR below threshold with a Byzantine schedule violator as a
+    /// significant interferer — a station transmitting outside its
+    /// published §7.3 windows, not a protocol collision and not a plain
+    /// jammer.
+    Violation,
 }
 
 #[cfg(test)]

@@ -27,6 +27,14 @@ pub struct NeighborHealth {
     /// Whether this station has evicted the neighbour from its routing
     /// view (cleared on re-admission).
     pub evicted: bool,
+    /// Flap-damping penalty accrued by this neighbour: each eviction adds
+    /// one point, and the score decays exponentially with the configured
+    /// half-life. Readmission is suppressed while the decayed score stays
+    /// at or above `HealConfig::flap_suppress`. Meaningful only when
+    /// `HealConfig::flap_damping` is on (stays 0.0 otherwise).
+    pub flap_penalty: f64,
+    /// When `flap_penalty` was last updated (the decay reference point).
+    pub flap_updated: Option<Time>,
 }
 
 /// A transmission the MAC has committed to.

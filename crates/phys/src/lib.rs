@@ -32,6 +32,7 @@ pub mod geom;
 pub mod grid;
 pub mod linkbudget;
 pub mod noise;
+pub mod partition;
 pub mod placement;
 pub mod propagation;
 pub mod sample;
@@ -44,6 +45,7 @@ pub use gainmodel::{GainModel, GridGainModel};
 pub use gains::{GainMatrix, StationId};
 pub use geom::{Disk, Point};
 pub use grid::GridIndex;
+pub use partition::{CutAxis, GeoCut, PartitionOverlay};
 pub use propagation::{FreeSpace, Propagation};
 pub use sample::GravitySampler;
 pub use shannon::ReceptionCriterion;

@@ -42,6 +42,9 @@ pub struct ActiveTransmission {
     /// True for deliberate interference (an injected jammer) rather than
     /// a protocol transmission.
     pub jammer: bool,
+    /// True for a Byzantine schedule violator's rogue emission — a
+    /// protocol station transmitting outside its published windows.
+    pub violator: bool,
 }
 
 /// One interferer's contribution at the moment a reception first failed.
@@ -57,6 +60,9 @@ pub struct Blame {
     /// classification can attribute the loss to jamming rather than to a
     /// protocol collision.
     pub jammer: bool,
+    /// True when the interferer is a Byzantine schedule violator (see
+    /// [`ActiveTransmission::violator`]).
+    pub violator: bool,
 }
 
 /// Final report for a completed reception.
@@ -690,6 +696,48 @@ impl SinrTracker {
         sum
     }
 
+    /// The gain field changed out from under the tracker — e.g. a
+    /// partition cut activated or healed on a
+    /// [`crate::partition::PartitionOverlay`] wrapping `gains`. Every
+    /// cached quantity derived from path gains is rebuilt: far-tail
+    /// snapshots are dropped (dormant cache and live slots alike), and
+    /// each in-flight reception's signal and exact near-interference sum
+    /// are recomputed from the active transmission set under the new
+    /// field, then re-evaluated — a reception mid-flight across a cut
+    /// that just activated fails immediately, as the physics demands.
+    ///
+    /// (The dense backend's incremental interference bookkeeping and the
+    /// far tail's per-cell power aggregates are power-only and stay
+    /// valid; only gain-derived values need recomputing.)
+    pub fn gains_changed(&mut self) {
+        if let Some(far) = self.far.as_mut() {
+            far.cache.clear();
+            for a in far.active_rx.iter_mut() {
+                a.snap = None;
+            }
+        }
+        let rids: Vec<u64> = self.receptions.keys().copied().collect();
+        for rid in rids {
+            let (rx, src_tx, src_station) = {
+                let r = &self.receptions[&rid];
+                (r.rx, r.src_tx, r.src_station)
+            };
+            let src_power = self.active_tx[&src_tx.0].power;
+            let signal = self.received_power(rx, src_station, src_power);
+            let interference = if self.far.is_some() {
+                self.near_interference_at(rx, Some(src_tx))
+            } else {
+                self.interference_at(rx, Some(src_tx))
+            };
+            {
+                let r = self.receptions.get_mut(&rid).expect("unknown reception");
+                r.signal = signal;
+                r.interference = interference;
+            }
+            self.reevaluate(rid);
+        }
+    }
+
     /// Total received power at `rx` from all active transmissions plus
     /// thermal noise (what a CSMA carrier-sense measurement sees).
     pub fn sensed_power(&self, rx: StationId) -> PowerW {
@@ -714,7 +762,7 @@ impl SinrTracker {
         power: PowerW,
         intended_rx: Option<StationId>,
     ) -> TxId {
-        self.start_tx_inner(station, power, intended_rx, false)
+        self.start_tx_inner(station, power, intended_rx, false, false)
     }
 
     /// Begin a deliberate interference (jammer) emission anchored at
@@ -723,7 +771,16 @@ impl SinrTracker {
     /// is flagged so blame reports mark it as a jammer. End the window
     /// with [`SinrTracker::end_transmission`].
     pub fn start_jammer(&mut self, station: StationId, power: PowerW) -> TxId {
-        self.start_tx_inner(station, power, None, true)
+        self.start_tx_inner(station, power, None, true, false)
+    }
+
+    /// Begin a Byzantine schedule violator's rogue emission from
+    /// `station`: interference-wise identical to a protocol transmission,
+    /// but flagged so blame reports mark it as a violation (losses it
+    /// causes classify as `Violation`, not as protocol collisions). End
+    /// the burst with [`SinrTracker::end_transmission`].
+    pub fn start_violator(&mut self, station: StationId, power: PowerW) -> TxId {
+        self.start_tx_inner(station, power, None, false, true)
     }
 
     fn start_tx_inner(
@@ -732,6 +789,7 @@ impl SinrTracker {
         power: PowerW,
         intended_rx: Option<StationId>,
         jammer: bool,
+        violator: bool,
     ) -> TxId {
         debug_assert!(power.value() > 0.0, "zero-power transmission");
         let id = self.next_tx;
@@ -746,6 +804,7 @@ impl SinrTracker {
                 power,
                 intended_rx,
                 jammer,
+                violator,
             },
         );
         if self.far.is_some() {
@@ -1128,6 +1187,7 @@ impl SinrTracker {
                     intended_rx: tx.intended_rx,
                     contribution: self.received_power(rx, tx.station, tx.power),
                     jammer: tx.jammer,
+                    violator: tx.violator,
                 })
                 .filter(|b| b.contribution.value() > 0.0)
                 .collect();
@@ -1378,6 +1438,7 @@ impl SinrTracker {
                     intended_rx: tx.intended_rx,
                     contribution: self.received_power(r.rx, tx.station, tx.power),
                     jammer: tx.jammer,
+                    violator: tx.violator,
                 })
                 .filter(|b| b.contribution.value() > 0.0)
                 .collect();

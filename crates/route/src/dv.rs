@@ -50,6 +50,17 @@ pub struct DvState {
     hops: Vec<u32>,
     next_hop: Vec<Option<StationId>>,
     holddown_until: Vec<Time>,
+    /// Which peer's withdrawal (or link failure) started each running
+    /// hold-down. Readmitting that peer clears the hold-downs it caused:
+    /// its withdrawal-era poison is stale the moment it is back, and the
+    /// readmission flood must not lose the race against one last poisoned
+    /// advertisement still in flight.
+    holddown_by: Vec<Option<StationId>>,
+    /// Advertised entries rejected as provably bogus (see
+    /// [`integrate`](DvState::integrate)): a third party claiming a
+    /// zero-hop or non-positive-energy route to a destination other than
+    /// itself. Drained by [`take_poison_rejections`](DvState::take_poison_rejections).
+    poison_rejections: u64,
     dirty: bool,
 }
 
@@ -66,6 +77,8 @@ impl DvState {
             hops: vec![u32::MAX; n],
             next_hop: vec![None; n],
             holddown_until: vec![Time::ZERO; n],
+            holddown_by: vec![None; n],
+            poison_rejections: 0,
             dirty: true,
         };
         s.dist[me] = 0.0;
@@ -140,10 +153,25 @@ impl DvState {
             .collect()
     }
 
+    /// Advertised entries rejected as provably poisoned since the last
+    /// call, draining the counter. Only `dst` itself may advertise `dst`
+    /// at zero hops or zero energy, so a third-party claim of either is
+    /// Byzantine with no false-positive risk — legitimate route energies
+    /// are sums of strictly positive hop energies.
+    pub fn take_poison_rejections(&mut self) -> u64 {
+        std::mem::take(&mut self.poison_rejections)
+    }
+
     /// Consume a vector advertised by direct neighbour `from`. Returns
     /// true when any route changed (the caller should schedule a
     /// triggered update). Vectors from stations not currently linked are
     /// ignored — they are stale transmissions from an evicted peer.
+    ///
+    /// Byzantine defense: an entry claiming a route to `dst != from` with
+    /// zero hops or non-positive total energy is impossible (only `dst`
+    /// itself is at zero hops / zero energy), so it is rejected and
+    /// counted rather than integrated — a poisoner cannot black-hole
+    /// traffic by underbidding every route.
     pub fn integrate(
         &mut self,
         from: StationId,
@@ -158,6 +186,10 @@ impl DvState {
         let mut changed = false;
         for (dst, &(their_cost, their_hops)) in adv.iter().enumerate() {
             if dst == self.me {
+                continue;
+            }
+            if dst != from && their_cost.is_finite() && (their_hops == 0 || their_cost <= 0.0) {
+                self.poison_rejections += 1;
                 continue;
             }
             let via = link + their_cost;
@@ -180,6 +212,7 @@ impl DvState {
                     self.hops[dst] = u32::MAX;
                     self.next_hop[dst] = None;
                     self.holddown_until[dst] = now + holddown;
+                    self.holddown_by[dst] = Some(from);
                     changed = true;
                 }
             } else if usable && now >= self.holddown_until[dst] && via + EPS < self.dist[dst] {
@@ -210,6 +243,7 @@ impl DvState {
                 self.hops[dst] = u32::MAX;
                 self.next_hop[dst] = None;
                 self.holddown_until[dst] = now + holddown;
+                self.holddown_by[dst] = Some(peer);
                 changed = true;
             }
         }
@@ -220,10 +254,21 @@ impl DvState {
 
     /// (Re-)establish the direct link to `peer` at `cost` — readmission
     /// after an eviction lifts, or a rebooted neighbour heard again.
-    /// First-hand knowledge: clears any hold-down on the peer itself.
+    /// First-hand knowledge: clears any hold-down on the peer itself
+    /// *and* every hold-down that peer's withdrawals caused — otherwise a
+    /// last poisoned advertisement still in flight when the readmission
+    /// flood lands would leave those destinations deaf to the peer's
+    /// fresh (correct) vector for a full hold-down window.
     pub fn restore_link(&mut self, peer: StationId, cost: f64) {
         self.links.insert(peer, cost);
         self.holddown_until[peer] = Time::ZERO;
+        self.holddown_by[peer] = None;
+        for dst in 0..self.n {
+            if self.holddown_by[dst] == Some(peer) {
+                self.holddown_until[dst] = Time::ZERO;
+                self.holddown_by[dst] = None;
+            }
+        }
         self.refresh_direct();
         self.dirty = true;
     }
@@ -504,6 +549,104 @@ mod tests {
         s.restore_link(2, 5.0);
         assert_eq!(s.next_hop(2), Some(2), "direct link held down");
         assert!((s.cost(2) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readmission_clears_the_holddowns_the_peer_caused() {
+        // Station 0 routes to 2 via 1. Peer 1 withdraws the route (its
+        // poisoned advertisement), starting a hold-down attributed to 1.
+        let mut s = DvState::new(0, 3, [(1usize, 1.0f64)].into_iter().collect());
+        let hold = Duration::from_secs(10);
+        s.integrate(1, &[(1.0, 1), (0.0, 0), (1.0, 1)], Time::ZERO, hold);
+        assert_eq!(s.next_hop(2), Some(1));
+        s.fail_link(1, Time::ZERO, hold);
+        assert_eq!(s.next_hop(2), None);
+        // Readmission: the link to 1 comes back. Without clearing 1's
+        // hold-downs, 1's first fresh advertisement (well inside the
+        // 10 s window) would be ignored for destination 2 — the
+        // readmission flood losing the race against the stale poison.
+        s.restore_link(1, 1.0);
+        let changed = s.integrate(
+            1,
+            &[(1.0, 1), (0.0, 0), (1.0, 1)],
+            Time::ZERO + Duration::from_millis(1),
+            hold,
+        );
+        assert!(changed, "fresh vector ignored during stale hold-down");
+        assert_eq!(s.next_hop(2), Some(1), "route not relearned");
+    }
+
+    #[test]
+    fn third_party_holddowns_survive_an_unrelated_readmission() {
+        // Two links: 1 and 3. Peer 1 withdraws the route to 2; readmitting
+        // *3* must not lift the hold-down 1 caused.
+        let mut s = DvState::new(
+            0,
+            4,
+            [(1usize, 1.0f64), (3usize, 1.0f64)].into_iter().collect(),
+        );
+        let hold = Duration::from_secs(10);
+        s.integrate(
+            1,
+            &[(1.0, 1), (0.0, 0), (1.0, 1), (f64::INFINITY, u32::MAX)],
+            Time::ZERO,
+            hold,
+        );
+        assert_eq!(s.next_hop(2), Some(1));
+        s.integrate(
+            1,
+            &[
+                (1.0, 1),
+                (0.0, 0),
+                (f64::INFINITY, u32::MAX),
+                (f64::INFINITY, u32::MAX),
+            ],
+            Time::ZERO,
+            hold,
+        );
+        assert_eq!(s.next_hop(2), None);
+        s.restore_link(3, 1.0);
+        // A third-party claim from 3 for the held-down destination is
+        // still ignored: the hold-down belongs to 1, not 3.
+        s.integrate(
+            3,
+            &[(1.0, 1), (2.0, 2), (1.0, 1), (0.0, 0)],
+            Time::ZERO + Duration::from_millis(1),
+            hold,
+        );
+        assert_eq!(
+            s.next_hop(2),
+            None,
+            "unrelated readmission lifted hold-down"
+        );
+    }
+
+    #[test]
+    fn poisoned_zero_cost_claims_are_rejected_and_counted() {
+        let mut s = DvState::new(0, 4, [(1usize, 1.0f64)].into_iter().collect());
+        // A Byzantine poisoner at 1 underbids every destination: zero
+        // energy, zero hops. Only its self-entry is legitimate.
+        let changed = s.integrate(
+            1,
+            &[(0.0, 0), (0.0, 0), (0.0, 0), (0.0, 0)],
+            Time::ZERO,
+            Duration::ZERO,
+        );
+        assert_eq!(s.take_poison_rejections(), 2, "dst 2 and 3 are bogus");
+        assert_eq!(s.next_hop(2), None);
+        assert_eq!(s.next_hop(3), None);
+        // The direct link to the poisoner itself still stands (first-hand
+        // knowledge), so the integrate may legitimately report change.
+        let _ = changed;
+        // An honest vector integrates cleanly and counts nothing.
+        s.integrate(
+            1,
+            &[(1.0, 1), (0.0, 0), (1.0, 1), (2.0, 2)],
+            Time::ZERO,
+            Duration::ZERO,
+        );
+        assert_eq!(s.take_poison_rejections(), 0);
+        assert_eq!(s.next_hop(2), Some(1));
     }
 
     #[test]

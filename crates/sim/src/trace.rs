@@ -110,6 +110,28 @@ pub enum TraceEvent {
         /// Time of the last table change in the episode.
         quiesced_at: Time,
     },
+    /// A geographic partition transient ended: the shadowing cut lifted
+    /// and gains across it are restored.
+    PartitionHealed {
+        /// Index of the partition fault in the run's fault plan.
+        index: usize,
+    },
+    /// Byzantine misbehavior detected and neutralized: the observer
+    /// rejected provably poisoned distance-vector entries from a sender.
+    ViolationDetected {
+        /// The detecting station.
+        observer: usize,
+        /// The misbehaving sender.
+        source: usize,
+    },
+    /// A budget-limited reactive jammer fired one burst against an
+    /// ongoing reception.
+    ReactiveJamBurst {
+        /// The jammer's anchor station.
+        station: usize,
+        /// The receiver whose reception is being jammed.
+        target: usize,
+    },
     /// Free-form annotation under a caller-chosen category.
     Note {
         /// Category tag (e.g. `"route"`).
@@ -132,6 +154,9 @@ impl TraceEvent {
             | TraceEvent::NeighborEvicted { .. }
             | TraceEvent::StationRecovered { .. } => "heal",
             TraceEvent::RouteUpdateSent { .. } | TraceEvent::RouteConverged { .. } => "route",
+            TraceEvent::PartitionHealed { .. }
+            | TraceEvent::ViolationDetected { .. }
+            | TraceEvent::ReactiveJamBurst { .. } => "fault",
             TraceEvent::Note { category, .. } => category,
         }
     }
@@ -184,6 +209,18 @@ impl fmt::Display for TraceEvent {
                 episode,
                 quiesced_at,
             } => write!(f, "routing converged (episode {episode}) at {quiesced_at}"),
+            TraceEvent::PartitionHealed { index } => {
+                write!(f, "partition (fault {index}) healed")
+            }
+            TraceEvent::ViolationDetected { observer, source } => {
+                write!(
+                    f,
+                    "station {observer} rejected poisoned routes from {source}"
+                )
+            }
+            TraceEvent::ReactiveJamBurst { station, target } => {
+                write!(f, "reactive jammer at {station} burst against rx {target}")
+            }
             TraceEvent::Note { message, .. } => f.write_str(message),
         }
     }

@@ -28,7 +28,11 @@ fn crashes_only(plan: FaultPlan) -> FaultPlan {
             FaultKind::Crash | FaultKind::CrashRecover { .. } => {
                 out = out.with(ev.at, ev.station, ev.kind);
             }
-            FaultKind::ClockJump { .. } | FaultKind::Jam { .. } => {}
+            FaultKind::ClockJump { .. }
+            | FaultKind::Jam { .. }
+            | FaultKind::Partition { .. }
+            | FaultKind::Byzantine { .. }
+            | FaultKind::ReactiveJam { .. } => {}
         }
     }
     out
