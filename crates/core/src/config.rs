@@ -7,6 +7,7 @@
 //! `p = 0.3`, quarter-slot packets, minimum-energy routing.
 
 use crate::faults::{FaultPlan, HealConfig};
+use crate::mobility::{ChurnPlan, MobilityConfig};
 use parn_phys::placement::Placement;
 use parn_phys::{PowerW, ReceptionCriterion};
 use parn_sched::SchedParams;
@@ -254,6 +255,13 @@ pub struct NetConfig {
     /// How the network heals around the injected faults: oracle route
     /// rebuilds on a timer, or local per-neighbor detection and repair.
     pub heal: HealConfig,
+    /// Continuous station motion (see [`crate::mobility`]). `None` (the
+    /// default) keeps every position static and every byte of config and
+    /// metrics JSON identical to pre-mobility builds.
+    pub mobility: Option<MobilityConfig>,
+    /// Scripted membership churn: clean departures and re-admissions
+    /// (see [`crate::mobility`]). Empty by default.
+    pub churn: ChurnPlan,
     /// Simulated run length.
     pub run_for: Duration,
     /// Initial portion excluded from steady-state statistics.
@@ -307,6 +315,8 @@ impl NetConfig {
             dv: DvConfig::paper_default(),
             faults: FaultPlan::none(),
             heal: HealConfig::oracle(),
+            mobility: None,
+            churn: ChurnPlan::none(),
             run_for: Duration::from_secs(20),
             warmup: Duration::from_secs(2),
         }
@@ -386,7 +396,7 @@ impl NetConfig {
             RouteMode::OneHop => "one_hop",
             RouteMode::Greedy => "greedy",
         };
-        obj([
+        let mut top = obj([
             ("seed", self.seed.into()),
             ("placement", placement),
             (
@@ -455,7 +465,19 @@ impl NetConfig {
             ("heal", self.heal.to_json()),
             ("run_for_s", self.run_for.as_secs_f64().into()),
             ("warmup_s", self.warmup.as_secs_f64().into()),
-        ])
+        ]);
+        // Dynamic-topology blocks are appended only when in use, keeping
+        // static-scenario provenance byte-identical to pre-mobility
+        // builds (the golden-metrics guarantee).
+        if let Json::Obj(entries) = &mut top {
+            if let Some(m) = &self.mobility {
+                entries.push(("mobility".into(), m.to_json()));
+            }
+            if !self.churn.is_empty() {
+                entries.push(("churn".into(), self.churn.to_json()));
+            }
+        }
+        top
     }
 
     /// Air time of one fixed-size packet (slot / divisor).
@@ -507,6 +529,31 @@ mod tests {
     fn delivered_power_dominates_thermal() {
         let c = NetConfig::paper_default(100, 1);
         assert!(c.delivered_power.value() > 1e4 * c.thermal_noise.value());
+    }
+
+    #[test]
+    fn to_json_omits_dynamic_topology_when_unused() {
+        let c = NetConfig::paper_default(10, 1);
+        let s = c.to_json().to_string();
+        assert!(!s.contains("\"mobility\""), "{s}");
+        assert!(!s.contains("\"churn\""), "{s}");
+    }
+
+    #[test]
+    fn to_json_embeds_mobility_and_churn_when_set() {
+        use crate::mobility::MobilityConfig;
+        let mut c = NetConfig::paper_default(10, 1);
+        c.mobility = Some(MobilityConfig::paper_default());
+        c.churn = crate::mobility::ChurnPlan::none().leave_for(
+            Duration::from_secs(2),
+            3,
+            Duration::from_secs(1),
+        );
+        let s = c.to_json().to_string();
+        assert!(s.contains("\"mobility\""), "{s}");
+        assert!(s.contains("\"model\":\"random_waypoint\""), "{s}");
+        assert!(s.contains("\"churn\""), "{s}");
+        assert!(s.contains("\"kind\":\"leave\""), "{s}");
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! * [`config`] — scenario description with paper-flavoured defaults;
 //! * [`faults`] — deterministic fault plans (crash / crash-recover /
 //!   clock jump / jammer) and the healing policy (oracle vs local);
+//! * [`mobility`] — station motion models and join/leave churn plans
+//!   (dynamic topology);
 //! * [`packet`] — packets and loss causes;
 //! * [`power`] — §6.1 power control (deliver constant power);
 //! * [`collision`] — the §5 collision taxonomy over PHY failure reports;
@@ -30,6 +32,7 @@ pub mod collision;
 pub mod config;
 pub mod faults;
 pub mod metrics;
+pub mod mobility;
 pub mod network;
 pub mod packet;
 pub mod power;
@@ -43,6 +46,7 @@ pub use config::{
 };
 pub use faults::{ByzMode, CutAxis, FaultEvent, FaultKind, FaultPlan, HealConfig, HealMode};
 pub use metrics::Metrics;
+pub use mobility::{ChurnEvent, ChurnKind, ChurnPlan, MobilityConfig, MobilityModel};
 pub use network::{Event, Network};
 pub use packet::{ControlPayload, LossCause, Packet, PacketKind};
 pub use power::PowerPolicy;

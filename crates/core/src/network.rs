@@ -15,6 +15,7 @@ use crate::collision::classify;
 use crate::config::{DestPolicy, NetConfig, PhyBackend, RouteMode, SourceModel, SyncMode};
 use crate::faults::{ByzMode, FaultKind, FaultPlan, HealMode};
 use crate::metrics::{Metrics, WarmupGate};
+use crate::mobility::{uniform_in_disk, ChurnKind, MobilityModel};
 use crate::packet::{ControlPayload, LossCause, Packet, PacketKind};
 use crate::power::PowerPolicy;
 use crate::station::{NeighborHealth, PlannedTx, Station};
@@ -153,6 +154,22 @@ pub enum Event {
     /// table changed for a full quiet window, the open convergence
     /// episode closes.
     ConvergenceCheck,
+    /// A motion epoch: every alive station advances along the configured
+    /// mobility model and is relocated in the PHY (dynamic topology).
+    MotionEpoch,
+    /// Injection point of one scheduled churn event from the run's
+    /// [`crate::mobility::ChurnPlan`] — a clean departure or a
+    /// re-admission at a new position.
+    ChurnStep {
+        /// Index into [`NetConfig::churn`]`.events`.
+        index: usize,
+    },
+    /// A timed-outage departure ends: the station powers back up at the
+    /// position it left from.
+    ChurnReturn {
+        /// The returning station.
+        station: StationId,
+    },
 }
 
 /// The flap-damping penalty `h` has decayed to at `now`: each eviction
@@ -207,7 +224,14 @@ pub struct Network {
     /// Per-source fixed-flow destinations (for `DestPolicy::Flows`).
     flow_dsts: Vec<Vec<StationId>>,
     /// Station positions (greedy route rebuilds, gravity sampling).
+    /// Time-varying under mobility: every relocation writes through here
+    /// *and* the gain backend, so all consumers see one epoch of truth.
     positions: Vec<Point>,
+    /// Random-waypoint targets (each station starts "at" its own
+    /// position, so the first motion epoch draws a fresh target).
+    mob_target: Vec<Point>,
+    /// Deployment-region radius (mobility target draws, walk clamping).
+    region_radius: f64,
     /// Spatial destination sampler (`DestPolicy::Gravity` only).
     gravity: Option<GravitySampler>,
     /// Cumulative Zipf weights over the sink stations
@@ -230,6 +254,10 @@ pub struct Network {
     pub metrics: Metrics,
     /// Fault-machinery RNG (reboot clocks, retry-backoff jitter).
     rng_faults: Rng,
+    /// Mobility RNG (the dedicated "mobility" substream): drawn from only
+    /// by motion epochs, so immobile runs consume nothing from it and
+    /// every other stream stays bit-identical to pre-mobility builds.
+    rng_mobility: Rng,
     /// Active jammer PHY handles, keyed by fault-plan event index.
     jammer_tx: BTreeMap<usize, TxId>,
     /// Shadowing-cut overlay over the gain model — present only when the
@@ -294,6 +322,7 @@ impl Network {
         let mut rng_clock = root.substream("clocks");
         let rng_traffic = root.substream("traffic");
         let rng_faults = root.substream("faults");
+        let rng_mobility = root.substream("mobility");
 
         let positions = cfg.placement.generate(&mut rng_place);
         let n = positions.len();
@@ -304,9 +333,15 @@ impl Network {
             seed: cfg.seed ^ 0x5AAD_0E5D,
         });
         let gains: Arc<dyn GainModel> = match &cfg.phy_backend {
+            // `build_shared` keeps the propagation model alive so dense
+            // backends can recompute rows on relocation; the table it
+            // builds is bit-identical to `build`'s.
             PhyBackend::Dense => match shadow {
-                Some(model) => Arc::new(GainMatrix::build(&positions, &model)),
-                None => Arc::new(GainMatrix::build(&positions, &FreeSpace::unit())),
+                Some(model) => Arc::new(GainMatrix::build_shared(&positions, Arc::new(model))),
+                None => Arc::new(GainMatrix::build_shared(
+                    &positions,
+                    Arc::new(FreeSpace::unit()),
+                )),
             },
             PhyBackend::Grid { .. } => {
                 let model: Box<dyn Propagation + Send + Sync> = match shadow {
@@ -513,6 +548,8 @@ impl Network {
         let airtime = cfg.packet_airtime();
         let mut metrics = Metrics::new(n);
         metrics.measured_span = cfg.run_for.saturating_sub(cfg.warmup);
+        let mob_target = positions.clone();
+        let region_radius = region.radius;
 
         Network {
             cfg,
@@ -530,6 +567,8 @@ impl Network {
             reachable,
             flow_dsts,
             positions,
+            mob_target,
+            region_radius,
             gravity,
             hotspot_cum,
             burst_on,
@@ -540,6 +579,7 @@ impl Network {
             usable_gain,
             metrics,
             rng_faults,
+            rng_mobility,
             jammer_tx: BTreeMap::new(),
             partition,
             byz_active: BTreeMap::new(),
@@ -700,6 +740,37 @@ impl Network {
                 FaultKind::ReactiveJam { .. } => {
                     // Armed at injection; goes quiet when its budget runs
                     // dry — no scheduled end.
+                }
+            }
+        }
+        // Dynamic topology. Motion epochs march on a fixed cadence; churn
+        // events inject on the plan's schedule, mirroring the fault
+        // translation above (timed departures get a return event, oracle
+        // healing gets its delayed global repairs).
+        if let Some(mc) = &self.cfg.mobility {
+            if let Err(e) = mc.validate() {
+                panic!("invalid mobility config: {e}");
+            }
+            queue.schedule(Time::ZERO + mc.epoch, Event::MotionEpoch);
+        }
+        if let Err(e) = self.cfg.churn.validate(n) {
+            panic!("invalid churn plan: {e}");
+        }
+        for (index, ev) in self.cfg.churn.events.iter().enumerate() {
+            let at = Time::ZERO + ev.at;
+            queue.schedule(at, Event::ChurnStep { index });
+            if oracle {
+                queue.schedule(at + delay, Event::Reroute);
+            }
+            if let ChurnKind::Leave { for_: Some(d) } = ev.kind {
+                queue.schedule(
+                    at + d,
+                    Event::ChurnReturn {
+                        station: ev.station,
+                    },
+                );
+                if oracle {
+                    queue.schedule(at + d + delay, Event::Reroute);
                 }
             }
         }
@@ -1694,7 +1765,7 @@ impl Network {
     /// models), arrange a triggered advertisement, and (re)arm the
     /// network-wide quiescence probe.
     fn after_dv_change(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
-        self.refresh_station_routing(s, now);
+        self.refresh_station_routing(s, now, false);
         self.schedule_triggered_update(s, now, queue);
         self.note_dv_change(now, queue);
     }
@@ -1702,14 +1773,18 @@ impl Network {
     /// Re-derive one station's routing neighbours, protected set and
     /// clock models from its own table — what `rebuild_routes` does
     /// globally, scoped to the station whose private state moved.
-    fn refresh_station_routing(&mut self, s: StationId, now: Time) {
+    ///
+    /// `force` skips the unchanged-neighbour early exit: motion re-costs
+    /// gains without necessarily changing next hops, and §7.3 protection
+    /// and worst-case power must re-budget from the moved geometry.
+    fn refresh_station_routing(&mut self, s: StationId, now: Time, force: bool) {
         let rn = self.dv[s].routing_neighbors();
-        if rn == self.stations[s].routing_neighbors {
+        if !force && rn == self.stations[s].routing_neighbors {
             return;
         }
-        // Worst-case power includes the (static) physical link set: the
-        // station addresses advertisements over every usable link, not
-        // just its current next hops.
+        // Worst-case power includes the physical link set: the station
+        // addresses advertisements over every usable link, not just its
+        // current next hops.
         let max_power_used = rn
             .iter()
             .chain(self.dv_links[s].iter().map(|(nb, _)| nb))
@@ -2113,14 +2188,27 @@ impl Network {
         if !self.alive[s] {
             return;
         }
-        self.alive[s] = false;
-        self.down_since[s] = Some(now);
         parn_sim::trace_event!(
             self.tracer,
             now,
             parn_sim::trace::Level::Warn,
             parn_sim::trace::TraceEvent::StationFailed { station: s }
         );
+        self.take_down_station(s, now, queue, LossCause::StationFailed);
+    }
+
+    /// Shared teardown for crashes and clean departures: the station
+    /// leaves the air, its queued and planned packets die with it
+    /// (accounted with `cause`), and eviction votes it held lapse.
+    fn take_down_station(
+        &mut self,
+        s: StationId,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+        cause: LossCause,
+    ) {
+        self.alive[s] = false;
+        self.down_since[s] = Some(now);
         let st = &mut self.stations[s];
         let mut lost: Vec<Packet> = Vec::new();
         for (_, q) in std::mem::take(&mut st.queues) {
@@ -2145,7 +2233,7 @@ impl Network {
             .collect();
         st.liveness.clear();
         for p in lost {
-            self.settle_drop(&p, LossCause::StationFailed);
+            self.settle_drop(&p, cause);
         }
         let mut any_lapsed = false;
         for nb in voted {
@@ -2170,9 +2258,6 @@ impl Network {
         if self.alive[s] {
             return;
         }
-        self.alive[s] = true;
-        self.boot_epoch[s] += 1;
-        self.down_since[s] = None;
         self.metrics.stations_recovered += 1;
         parn_sim::trace_event!(
             self.tracer,
@@ -2180,6 +2265,17 @@ impl Network {
             parn_sim::trace::Level::Warn,
             parn_sim::trace::TraceEvent::StationRecovered { station: s }
         );
+        self.revive_station(s, now, queue);
+    }
+
+    /// Shared power-up for reboots and churn re-admissions: fresh clock
+    /// and schedule (volatile state is gone), a two-way rejoin handshake
+    /// re-seeding clock models on both sides, routing readmission per the
+    /// heal mode, and an arrival-process restart.
+    fn revive_station(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
+        self.alive[s] = true;
+        self.boot_epoch[s] += 1;
+        self.down_since[s] = None;
         let clock = StationClock::random(&mut self.rng_faults, self.cfg.clock.max_ppm);
         self.clocks[s] = clock;
         self.stations[s].schedule = StationSchedule::new(self.cfg.sched, clock);
@@ -2237,6 +2333,251 @@ impl Network {
                 self.arrivals_live[s] = true;
             }
         }
+    }
+
+    /// Two-phase PHY move: stash the movers' reception state against the
+    /// old geometry, relocate them in the gain backend (and the position
+    /// mirror), then re-attach and recompute only the affected receptions
+    /// — see `SinrTracker::begin_moves`. `movers` must be ascending.
+    fn apply_moves(&mut self, movers: &[StationId], dests: &[Point], now: Time) {
+        self.tracker.begin_moves(movers);
+        for (&s, &to) in movers.iter().zip(dests) {
+            self.gains.relocate(s, to);
+            self.positions[s] = to;
+        }
+        self.tracker.finish_moves();
+        self.metrics.station_moves += movers.len() as u64;
+        parn_sim::counter_inc!("core.station_moves", movers.len() as u64);
+        for &s in movers {
+            parn_sim::trace_event!(
+                self.tracer,
+                now,
+                parn_sim::trace::Level::Debug,
+                parn_sim::trace::TraceEvent::StationMoved { station: s }
+            );
+        }
+    }
+
+    /// Rebuild the gravity destination sampler over the moved positions.
+    /// The sampler is derived state (its draws live in the traffic RNG
+    /// stream), so rebuilding it costs no randomness.
+    fn rebuild_gravity(&mut self) {
+        if self.gravity.is_none() {
+            return;
+        }
+        let exponent = match &self.cfg.traffic.dest {
+            DestPolicy::Gravity { exponent } => *exponent,
+            _ => return,
+        };
+        let reach = 1.0 / self.usable_gain.0.sqrt();
+        let r_max = (2.0 * self.region_radius).max(2.0 * reach);
+        self.gravity = Some(GravitySampler::new(&self.positions, exponent, reach, r_max));
+    }
+
+    /// Distributed routing under motion: re-derive the physical link set
+    /// from the moved geometry and feed each station's private state the
+    /// diff — lost links fail (poisoning routes through them), new links
+    /// restore first-hand (hold-down exempt), surviving links re-cost in
+    /// place without triggering hold-down.
+    fn refresh_dv_after_motion(&mut self, now: Time, queue: &mut EventQueue<Event>) {
+        let n = self.stations.len();
+        let tx_ok = self.alive.clone();
+        let rx_ok: Vec<bool> = (0..n)
+            .map(|j| self.alive[j] && self.evicted_by[j] == 0)
+            .collect();
+        let graph = EnergyGraph::from_model_masked(&*self.gains, self.usable_gain, &tx_ok, &rx_ok);
+        for s in 0..n {
+            // Keep the readmission baseline at the current geometry, for
+            // dead stations too: a later reboot must re-measure today's
+            // links, not the boot-time ones.
+            self.dv_links[s] = graph.neighbors(s).to_vec();
+            if !self.alive[s] {
+                continue;
+            }
+            let fresh: BTreeMap<StationId, f64> = graph.neighbors(s).iter().copied().collect();
+            let old: Vec<(StationId, f64)> =
+                self.dv[s].links().iter().map(|(&nb, &c)| (nb, c)).collect();
+            let mut changed = false;
+            for &(nb, c) in &old {
+                match fresh.get(&nb) {
+                    None => {
+                        self.on_link_failed(s, nb, now, queue);
+                        changed = true;
+                    }
+                    Some(&nc) if nc != c => {
+                        self.dv[s].update_link_cost(nb, nc);
+                        changed = true;
+                    }
+                    Some(_) => {}
+                }
+            }
+            let mine = self.clocks[s].reading(now);
+            for (&nb, &c) in &fresh {
+                if old.iter().any(|&(o, _)| o == nb) {
+                    continue;
+                }
+                self.dv[s].restore_link(nb, c);
+                // A brand-new link neighbour needs a clock model before
+                // any advertisement can be planned to it.
+                let theirs = self.clocks[nb].reading(now);
+                self.stations[s].models.entry(nb).or_insert_with(|| {
+                    RemoteClockModel::from_first_sample(ClockSample { mine, theirs })
+                });
+                changed = true;
+            }
+            if changed {
+                self.after_dv_change(s, now, queue);
+            }
+            // Even with the link set unchanged, moved geometry re-costs
+            // gains: §7.3 protection and worst-case power re-budget.
+            self.refresh_station_routing(s, now, true);
+        }
+    }
+
+    /// A motion epoch: advance every live station along the configured
+    /// model, apply the moves through the two-phase PHY protocol, and
+    /// re-derive everything position-dependent (routes, §7.3 protection,
+    /// gravity sampling).
+    fn on_motion_epoch(&mut self, now: Time, queue: &mut EventQueue<Event>) {
+        let Some(mc) = self.cfg.mobility else {
+            return;
+        };
+        let dt = mc.epoch.as_secs_f64();
+        let n = self.stations.len();
+        let mut movers: Vec<StationId> = Vec::new();
+        let mut dests: Vec<Point> = Vec::new();
+        for s in 0..n {
+            if !self.alive[s] {
+                continue;
+            }
+            let p = self.positions[s];
+            let to = match mc.model {
+                MobilityModel::RandomWaypoint { speed } => {
+                    let step = speed * dt;
+                    let target = self.mob_target[s];
+                    let (dx, dy) = (target.x - p.x, target.y - p.y);
+                    let dist = dx.hypot(dy);
+                    if dist <= step {
+                        // Arrived: land on the waypoint (the leftover step
+                        // is the model's dwell) and draw the next leg's
+                        // target for the following epoch.
+                        self.mob_target[s] =
+                            uniform_in_disk(&mut self.rng_mobility, self.region_radius);
+                        target
+                    } else {
+                        Point::new(p.x + dx / dist * step, p.y + dy / dist * step)
+                    }
+                }
+                MobilityModel::RandomWalk { speed } => {
+                    let theta = self.rng_mobility.next_f64() * std::f64::consts::TAU;
+                    let step = speed * dt;
+                    let (x, y) = (p.x + step * theta.cos(), p.y + step * theta.sin());
+                    let r = x.hypot(y);
+                    if r > self.region_radius {
+                        // Bounded walk: radial clamp to the region rim.
+                        let f = self.region_radius / r;
+                        Point::new(x * f, y * f)
+                    } else {
+                        Point::new(x, y)
+                    }
+                }
+            };
+            if to != p {
+                movers.push(s);
+                dests.push(to);
+            }
+        }
+        if !movers.is_empty() {
+            self.apply_moves(&movers, &dests, now);
+            if self.distributed() {
+                self.refresh_dv_after_motion(now, queue);
+            } else {
+                self.rebuild_routes(now, queue);
+            }
+            self.rebuild_gravity();
+        }
+        self.metrics.motion_epochs += 1;
+        parn_sim::counter_inc!("core.motion_epochs");
+        let next = now + mc.epoch;
+        if next <= self.end {
+            queue.schedule(next, Event::MotionEpoch);
+        }
+    }
+
+    /// Injection point of one scheduled churn event.
+    fn on_churn_step(&mut self, index: usize, now: Time, queue: &mut EventQueue<Event>) {
+        let ev = self.cfg.churn.events[index];
+        match ev.kind {
+            ChurnKind::Leave { .. } => self.on_station_leave(ev.station, now, queue),
+            ChurnKind::Join { pos } => self.on_station_join(ev.station, pos, now, queue),
+        }
+    }
+
+    /// A clean departure: same teardown as a crash, but the packets that
+    /// die with the station are accounted as `Departed`, not failures.
+    fn on_station_leave(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
+        if !self.alive[s] {
+            return;
+        }
+        self.metrics.leaves += 1;
+        parn_sim::counter_inc!("core.leaves");
+        parn_sim::trace_event!(
+            self.tracer,
+            now,
+            parn_sim::trace::Level::Warn,
+            parn_sim::trace::TraceEvent::StationLeft { station: s }
+        );
+        self.take_down_station(s, now, queue, LossCause::Departed);
+    }
+
+    /// A re-admission at a fresh position: the dormant station relocates
+    /// *before* it re-enters the air (any reception still draining at or
+    /// from it is recomputed against the new geometry), then powers up
+    /// through the shared rejoin path.
+    fn on_station_join(
+        &mut self,
+        s: StationId,
+        pos: Point,
+        now: Time,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if self.alive[s] {
+            return;
+        }
+        self.apply_moves(&[s], &[pos], now);
+        self.mob_target[s] = pos;
+        self.metrics.joins += 1;
+        parn_sim::counter_inc!("core.joins");
+        parn_sim::trace_event!(
+            self.tracer,
+            now,
+            parn_sim::trace::Level::Warn,
+            parn_sim::trace::TraceEvent::StationJoined { station: s }
+        );
+        self.revive_station(s, now, queue);
+        if self.distributed() {
+            // The joiner moved, so its link set — and its new neighbours'
+            // — comes from the current geometry, not the boot-time one.
+            self.refresh_dv_after_motion(now, queue);
+        }
+        self.rebuild_gravity();
+    }
+
+    /// A timed-outage departure ends: power back up at the position the
+    /// station left from.
+    fn on_churn_return(&mut self, s: StationId, now: Time, queue: &mut EventQueue<Event>) {
+        if self.alive[s] {
+            return;
+        }
+        self.metrics.joins += 1;
+        parn_sim::counter_inc!("core.joins");
+        parn_sim::trace_event!(
+            self.tracer,
+            now,
+            parn_sim::trace::Level::Warn,
+            parn_sim::trace::TraceEvent::StationJoined { station: s }
+        );
+        self.revive_station(s, now, queue);
     }
 
     /// An instantaneous discontinuity in a station's clock. The station
@@ -2645,6 +2986,9 @@ impl Model for Network {
                 self.on_route_update_round(station, periodic, now, queue)
             }
             Event::ConvergenceCheck => self.on_convergence_check(now, queue),
+            Event::MotionEpoch => self.on_motion_epoch(now, queue),
+            Event::ChurnStep { index } => self.on_churn_step(index, now, queue),
+            Event::ChurnReturn { station } => self.on_churn_return(station, now, queue),
         }
     }
 }
@@ -3437,5 +3781,116 @@ mod tests {
         // Same config => identical gains; shadowing off => different gains.
         assert_eq!(a.gains().gain(0, 1), b.gains().gain(0, 1));
         assert_ne!(a.gains().gain(0, 1), c.gains().gain(0, 1));
+    }
+
+    #[test]
+    fn mobility_run_moves_stations_and_conserves() {
+        use crate::mobility::{MobilityConfig, MobilityModel};
+        let mut cfg = small_cfg(30, 83);
+        cfg.mobility = Some(MobilityConfig {
+            model: MobilityModel::RandomWaypoint { speed: 10.0 },
+            epoch: Duration::from_millis(200),
+        });
+        let m = Network::run(cfg.clone());
+        assert!(m.motion_epochs > 10, "{}", m.summary());
+        assert!(m.station_moves > 0, "{}", m.summary());
+        assert!(m.delivered > 0, "{}", m.summary());
+        assert!(m.conservation_holds(), "{}", m.summary());
+        assert_eq!(m.hop_attempts, m.hop_successes + m.total_losses());
+        // Motion draws come from their own substream, deterministically.
+        let m2 = Network::run(cfg);
+        assert_eq!(m.delivered, m2.delivered);
+        assert_eq!(m.station_moves, m2.station_moves);
+    }
+
+    #[test]
+    fn mobility_config_absent_means_no_motion() {
+        let m = Network::run(small_cfg(20, 3));
+        assert_eq!(m.motion_epochs, 0);
+        assert_eq!(m.station_moves, 0);
+        assert_eq!(m.leaves, 0);
+        assert_eq!(m.joins, 0);
+    }
+
+    #[test]
+    fn churn_departures_account_as_departed_and_conserve() {
+        use crate::mobility::ChurnPlan;
+        let mut cfg = small_cfg(30, 11);
+        cfg.run_for = Duration::from_secs(8);
+        cfg.traffic.arrivals_per_station_per_sec = 2.0;
+        cfg.churn = ChurnPlan::none()
+            .leave_for(Duration::from_secs(2), 3, Duration::from_secs(2))
+            .leave(Duration::from_secs(3), 7);
+        let m = Network::run(cfg.clone());
+        assert_eq!(m.leaves, 2, "{}", m.summary());
+        assert_eq!(m.joins, 1, "{}", m.summary());
+        assert!(m.delivered > 0, "{}", m.summary());
+        assert!(m.conservation_holds(), "{}", m.summary());
+        assert_eq!(m.hop_attempts, m.hop_successes + m.total_losses());
+        let m2 = Network::run(cfg);
+        assert_eq!(m.delivered, m2.delivered);
+        assert_eq!(m.total_drops(), m2.total_drops());
+    }
+
+    #[test]
+    fn churn_join_readmits_at_new_position() {
+        use crate::mobility::ChurnPlan;
+        let mut cfg = small_cfg(30, 47);
+        cfg.run_for = Duration::from_secs(10);
+        cfg.traffic.arrivals_per_station_per_sec = 2.0;
+        // Station 5 departs, then is readmitted across the region.
+        cfg.churn = ChurnPlan::none().leave(Duration::from_secs(2), 5).join(
+            Duration::from_secs(4),
+            5,
+            Point::new(10.0, -8.0),
+        );
+        let mut net = Network::new(cfg);
+        let end = net.end;
+        let mut queue = EventQueue::new();
+        net.prime(&mut queue);
+        parn_sim::run(&mut net, &mut queue, end);
+        assert!(net.alive[5]);
+        let p = net.positions[5];
+        assert!((p.x - 10.0).abs() < 1e-12 && (p.y + 8.0).abs() < 1e-12);
+        let m = net.finish();
+        assert_eq!(m.leaves, 1, "{}", m.summary());
+        assert_eq!(m.joins, 1, "{}", m.summary());
+        assert!(m.conservation_holds(), "{}", m.summary());
+    }
+
+    #[test]
+    fn greedy_rebuild_tracks_moved_positions() {
+        use crate::mobility::{MobilityConfig, MobilityModel};
+        let mut cfg = small_cfg(40, 77);
+        cfg.route_mode = RouteMode::Greedy;
+        cfg.mobility = Some(MobilityConfig {
+            model: MobilityModel::RandomWaypoint { speed: 40.0 },
+            epoch: Duration::from_millis(200),
+        });
+        let mut net = Network::new(cfg);
+        let mut queue = EventQueue::new();
+        net.prime(&mut queue);
+        let before = net.positions.clone();
+        // First epoch draws waypoints; the second produces real moves.
+        let t1 = Time::ZERO + Duration::from_millis(200);
+        net.on_motion_epoch(t1, &mut queue);
+        let t2 = t1 + Duration::from_millis(200);
+        net.on_motion_epoch(t2, &mut queue);
+        assert_ne!(net.positions, before, "nobody moved");
+        // Greedy forwarding must be computed over the *post-move*
+        // geometry: the live table has to agree with one rebuilt from
+        // scratch over the current positions.
+        let graph = EnergyGraph::from_model(&*net.gains, net.usable_gain);
+        let fresh = RouteTable::greedy(&graph, &net.positions);
+        let n = net.len();
+        for s in 0..n {
+            for d in 0..n {
+                assert_eq!(
+                    net.routes.next_hop(s, d),
+                    fresh.next_hop(s, d),
+                    "stale greedy hop at {s}->{d}"
+                );
+            }
+        }
     }
 }

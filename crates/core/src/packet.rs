@@ -129,6 +129,9 @@ pub enum LossCause {
     /// published §7.3 windows, not a protocol collision and not a plain
     /// jammer.
     Violation,
+    /// The packet was held by, or addressed to, a station that cleanly
+    /// left the network (a churn departure, not a crash).
+    Departed,
 }
 
 #[cfg(test)]

@@ -16,7 +16,8 @@ use crate::grid::GridIndex;
 use crate::propagation::Propagation;
 use crate::units::Gain;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard};
 
 /// Pairwise power gains between stations, plus the neighbour queries the
 /// rest of the workspace needs. Receiver-first indexing throughout
@@ -35,11 +36,19 @@ pub trait GainModel: std::fmt::Debug + Send + Sync {
     /// collisions, §5).
     fn gain(&self, rx: StationId, tx: StationId) -> Gain;
 
-    /// Position of one station.
+    /// Position of one station (current — mobility moves stations).
     fn position(&self, id: StationId) -> Point;
 
-    /// All station positions.
-    fn positions(&self) -> &[Point];
+    /// Move station `id` to `to`, updating whatever derived state the
+    /// backend keeps (dense rows/columns, grid buckets, gain caches) so
+    /// that subsequent queries answer as if the station had always been
+    /// there. Only backends that support mobility implement this; the
+    /// default panics so a static backend can never silently ignore a
+    /// move.
+    fn relocate(&self, id: StationId, to: Point) {
+        let _ = (id, to);
+        unimplemented!("this gain backend does not support station mobility")
+    }
 
     /// All stations whose path gain *to* `rx` is at least `threshold`,
     /// in ascending id order.
@@ -72,8 +81,8 @@ impl GainModel for GainMatrix {
         GainMatrix::position(self, id)
     }
 
-    fn positions(&self) -> &[Point] {
-        GainMatrix::positions(self)
+    fn relocate(&self, id: StationId, to: Point) {
+        GainMatrix::relocate(self, id, to)
     }
 
     fn hearable_by(&self, rx: StationId, threshold: Gain) -> Vec<StationId> {
@@ -89,8 +98,8 @@ impl GainModel for GainMatrix {
     }
 }
 
-/// Number of slots in the direct-mapped gain cache. At 24 bytes per slot
-/// this is 1.5 MiB **per thread** — small next to the simulator's event
+/// Number of slots in the direct-mapped gain cache. At 32 bytes per slot
+/// this is 2 MiB **per thread** — small next to the simulator's event
 /// state, and enough to keep the hot rx↔neighbour pairs of a 10⁵-station
 /// run resident.
 const CACHE_SLOTS: usize = 1 << 16;
@@ -101,7 +110,7 @@ const CACHE_SLOTS: usize = 1 << 16;
 static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    /// Per-thread direct-mapped cache of `(instance, key, gain)`.
+    /// Per-thread direct-mapped cache of `(instance, key, stamp, gain)`.
     ///
     /// The cache used to be a process-wide `Mutex<Vec<_>>` inside each
     /// `GridGainModel`; that lock sat directly on the SINR hot path and
@@ -113,7 +122,12 @@ thread_local! {
     /// [`parn_sim::pool::WorkerPool`], so their caches stay warm across
     /// sweeps. Allocation is lazy: threads that never query gains pay
     /// nothing.
-    static GAIN_CACHE: RefCell<Vec<(u64, u64, f64)>> = const { RefCell::new(Vec::new()) };
+    ///
+    /// `stamp` packs the two stations' move epochs at fill time. Mobility
+    /// bumps a station's epoch on every relocation, so a stale entry
+    /// mismatches and recomputes — invalidation is scoped to exactly the
+    /// pairs involving a mover, with no cross-thread cache walk.
+    static GAIN_CACHE: RefCell<Vec<(u64, u64, u64, f64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Spatially indexed gain backend: O(M) memory, on-demand gains.
@@ -124,21 +138,29 @@ thread_local! {
 /// ([`Propagation::range_for_gain`]); otherwise they fall back to the
 /// same full scans the dense backend does.
 pub struct GridGainModel {
-    positions: Vec<Point>,
-    grid: GridIndex,
+    positions: RwLock<Vec<Point>>,
+    grid: RwLock<GridIndex>,
     model: Box<dyn Propagation + Send + Sync>,
     /// This model's id in the per-thread [`struct@GAIN_CACHE`].
     instance: u64,
     /// Whether `model` is reciprocal; symmetric models share one cache slot
     /// per unordered pair (see [`GainModel::gain`]).
     symmetric: bool,
+    /// Per-station move epochs. Bumped by [`relocate`](GainModel::relocate);
+    /// cache entries stamp the epochs they were filled under, so moving a
+    /// station invalidates exactly its pairs in every thread's cache.
+    epochs: Vec<AtomicU32>,
+    /// When set (far-field mode keys state on cell indices), moves never
+    /// grow the grid extent: escaping stations clamp to border cells,
+    /// which stays exact for candidate queries.
+    fixed_geometry: AtomicBool,
 }
 
 impl std::fmt::Debug for GridGainModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GridGainModel")
-            .field("n", &self.positions.len())
-            .field("cell", &self.grid.cell_size())
+            .field("n", &self.epochs.len())
+            .field("cell", &self.grid().cell_size())
             .finish_non_exhaustive()
     }
 }
@@ -153,17 +175,30 @@ impl GridGainModel {
         );
         let symmetric = model.is_symmetric();
         GridGainModel {
-            positions: positions.to_vec(),
-            grid: GridIndex::build(positions),
+            positions: RwLock::new(positions.to_vec()),
+            grid: RwLock::new(GridIndex::build(positions)),
             model,
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             symmetric,
+            epochs: (0..positions.len()).map(|_| AtomicU32::new(0)).collect(),
+            fixed_geometry: AtomicBool::new(false),
         }
     }
 
-    /// The underlying spatial index.
-    pub fn grid(&self) -> &GridIndex {
-        &self.grid
+    /// The underlying spatial index. The guard is read-only; moves go
+    /// through [`relocate`](GainModel::relocate) on the event loop, which
+    /// never runs concurrently with readers holding this guard.
+    pub fn grid(&self) -> RwLockReadGuard<'_, GridIndex> {
+        self.grid.read().unwrap()
+    }
+
+    /// Pin the grid's geometry: relocations stop growing the extent for
+    /// bbox-escaping moves (they clamp to border cells instead, which
+    /// candidate queries handle exactly). The far-field tracker sets this
+    /// because its aggregates are keyed on cell indices, which an
+    /// expansion would renumber.
+    pub fn set_fixed_geometry(&self, fixed: bool) {
+        self.fixed_geometry.store(fixed, Ordering::Relaxed);
     }
 
     /// The underlying propagation model.
@@ -172,9 +207,18 @@ impl GridGainModel {
     }
 
     fn compute_gain(&self, rx: StationId, tx: StationId) -> f64 {
-        self.model
-            .power_gain(self.positions[tx], self.positions[rx])
-            .value()
+        let positions = self.positions.read().unwrap();
+        self.model.power_gain(positions[tx], positions[rx]).value()
+    }
+
+    /// Packed move epochs of the two ids in `key` order — the cache
+    /// stamp a fresh entry for this pair would carry right now.
+    #[inline]
+    fn stamp_for(&self, key: u64) -> u64 {
+        let a = (key >> 32) as usize;
+        let b = (key & 0xFFFF_FFFF) as usize;
+        ((self.epochs[a].load(Ordering::Relaxed) as u64) << 32)
+            | self.epochs[b].load(Ordering::Relaxed) as u64
     }
 }
 
@@ -190,7 +234,7 @@ fn mix64(mut x: u64) -> u64 {
 
 impl GainModel for GridGainModel {
     fn len(&self) -> usize {
-        self.positions.len()
+        self.epochs.len()
     }
 
     fn gain(&self, rx: StationId, tx: StationId) -> Gain {
@@ -206,31 +250,51 @@ impl GainModel for GridGainModel {
         } else {
             ((rx as u64) << 32) | tx as u64
         };
+        let stamp = self.stamp_for(key);
         let slot = (mix64(key ^ self.instance.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize)
             & (CACHE_SLOTS - 1);
         GAIN_CACHE.with(|cache| {
             let mut cache = cache.borrow_mut();
             if cache.is_empty() {
-                cache.resize(CACHE_SLOTS, (0, 0, 0.0));
+                cache.resize(CACHE_SLOTS, (0, 0, 0, 0.0));
             }
             let entry = &mut cache[slot];
-            if entry.0 == self.instance && entry.1 == key {
+            if entry.0 == self.instance && entry.1 == key && entry.2 == stamp {
                 parn_sim::counter_inc!("phys.gain_cache.hit");
-                return Gain(entry.2);
+                return Gain(entry.3);
             }
             parn_sim::counter_inc!("phys.gain_cache.miss");
             let v = self.compute_gain(rx, tx);
-            *entry = (self.instance, key, v);
+            *entry = (self.instance, key, stamp, v);
             Gain(v)
         })
     }
 
     fn position(&self, id: StationId) -> Point {
-        self.positions[id]
+        self.positions.read().unwrap()[id]
     }
 
-    fn positions(&self) -> &[Point] {
-        &self.positions
+    fn relocate(&self, id: StationId, to: Point) {
+        let from;
+        {
+            let mut positions = self.positions.write().unwrap();
+            from = positions[id];
+            positions[id] = to;
+        }
+        {
+            let mut grid = self.grid.write().unwrap();
+            if !self.fixed_geometry.load(Ordering::Relaxed) && grid.expand_to_include(to) {
+                parn_sim::counter_inc!("phys.grid.expansions");
+            }
+            if grid.relocate(id, from, to) {
+                parn_sim::counter_inc!("phys.grid.rebuckets");
+            }
+        }
+        // Stale cache entries for this station now mismatch on the epoch
+        // stamp in every thread's cache — a per-pair, per-move
+        // invalidation with no global drop.
+        self.epochs[id].fetch_add(1, Ordering::Relaxed);
+        parn_sim::counter_inc!("phys.grid.relocations");
     }
 
     fn hearable_by(&self, rx: StationId, threshold: Gain) -> Vec<StationId> {
@@ -243,7 +307,7 @@ impl GainModel for GridGainModel {
                 // Everything with gain ≥ threshold lies within `range`
                 // (strictly-below contract), hence inside the bounding
                 // square — the exact filter then mirrors the dense scan.
-                let mut ids = self.grid.candidates_within(self.position(rx), range);
+                let mut ids = self.grid().candidates_within(self.position(rx), range);
                 ids.retain(|&tx| tx != rx && self.gain(rx, tx) >= threshold);
                 ids.sort_unstable();
                 ids
@@ -260,10 +324,11 @@ impl GainModel for GridGainModel {
             return Vec::new();
         }
         let c = self.position(rx);
-        let mut r = self.grid.cell_size().max(f64::MIN_POSITIVE);
+        let grid = self.grid();
+        let mut r = grid.cell_size().max(f64::MIN_POSITIVE);
         loop {
-            let covers = self.grid.square_covers_all(c, r);
-            let mut ids = self.grid.candidates_within(c, r);
+            let covers = grid.square_covers_all(c, r);
+            let mut ids = grid.candidates_within(c, r);
             ids.sort_unstable(); // ascending ids, so ties sort like dense
             ids.retain(|&j| j != rx);
             ids.sort_by(|&a, &b| {
@@ -473,6 +538,77 @@ mod tests {
                     };
                     assert_eq!(grid.gain(rx, tx).value(), expect);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn relocate_matches_fresh_backends_after_moves() {
+        // After a sequence of moves (warming the gain cache between them,
+        // so stale entries exist to be invalidated), the mutated grid
+        // backend must agree bit-for-bit with both a fresh grid build and
+        // the dense matrix over the moved positions.
+        let mut rng = Rng::new(31);
+        let mut pts = disk(48, 300.0, 6);
+        let grid = GridGainModel::new(&pts, Box::new(FreeSpace::unit()));
+        for step in 0..40 {
+            // Warm every pair touching the upcoming mover.
+            let id = rng.below(pts.len() as u64) as usize;
+            for j in 0..pts.len() {
+                grid.gain(id, j);
+                grid.gain(j, id);
+            }
+            let to = Point::new(rng.range_f64(-280.0, 280.0), rng.range_f64(-280.0, 280.0));
+            grid.relocate(id, to);
+            pts[id] = to;
+            if step % 8 != 0 {
+                continue; // full cross-check every 8th move
+            }
+            let dense = GainMatrix::build(&pts, &FreeSpace::unit());
+            for rx in 0..pts.len() {
+                for tx in 0..pts.len() {
+                    assert_eq!(
+                        grid.gain(rx, tx),
+                        GainModel::gain(&dense, rx, tx),
+                        "stale gain at ({rx}, {tx}) after moving {id}"
+                    );
+                }
+                assert_eq!(
+                    grid.hearable_by(rx, Gain(1e-5)),
+                    GainModel::hearable_by(&dense, rx, Gain(1e-5))
+                );
+                assert_eq!(
+                    grid.strongest_neighbors(rx, 6),
+                    GainModel::strongest_neighbors(&dense, rx, 6)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relocate_with_fixed_geometry_clamps_instead_of_expanding() {
+        let pts = disk(30, 100.0, 8);
+        let grid = GridGainModel::new(&pts, Box::new(FreeSpace::unit()));
+        let (_, _, nx, ny) = {
+            let g = grid.grid();
+            let (min, cell, nx, ny) = g.geometry();
+            (min, cell, nx, ny)
+        };
+        grid.set_fixed_geometry(true);
+        grid.relocate(0, Point::new(9000.0, 9000.0));
+        {
+            let g = grid.grid();
+            let (_, _, nx2, ny2) = g.geometry();
+            assert_eq!((nx, ny), (nx2, ny2), "fixed geometry must not grow");
+        }
+        // The escaped station still shows up in covering queries.
+        let ids = grid.hearable_by(0, Gain(0.0));
+        assert_eq!(ids.len(), pts.len() - 1);
+        let dense_pts: Vec<Point> = (0..pts.len()).map(|i| grid.position(i)).collect();
+        let dense = GainMatrix::build(&dense_pts, &FreeSpace::unit());
+        for rx in 0..pts.len() {
+            for tx in 0..pts.len() {
+                assert_eq!(grid.gain(rx, tx), GainModel::gain(&dense, rx, tx));
             }
         }
     }

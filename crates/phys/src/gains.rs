@@ -5,6 +5,9 @@
 //! simulator we precompute the full matrix from a placement and a
 //! propagation model. Routing (§6.2) and neighbour discovery read it.
 
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
 use crate::geom::Point;
 use crate::propagation::Propagation;
 use crate::units::Gain;
@@ -18,42 +21,103 @@ pub type StationId = usize;
 /// (paper's `h_ij²` indexing: first index is the receiver). For our
 /// isotropic models the matrix is symmetric, but the API keeps the
 /// receiver-first convention so directional models could drop in.
-#[derive(Clone, Debug)]
+///
+/// Positions are time-varying when the matrix is built with
+/// [`build_shared`](Self::build_shared): [`relocate`](Self::relocate)
+/// moves one station and recomputes its row and column in place. The
+/// table lives behind a lock so the simulator can move stations through
+/// a shared handle; all writes happen on the single-threaded event loop
+/// (reader threads only ever observe a quiescent table).
 pub struct GainMatrix {
     n: usize,
+    inner: RwLock<Inner>,
+    model: Option<Arc<dyn Propagation + Send + Sync>>,
+}
+
+struct Inner {
     g: Vec<f64>,
     positions: Vec<Point>,
+}
+
+impl Clone for GainMatrix {
+    fn clone(&self) -> GainMatrix {
+        let inner = self.inner.read().unwrap();
+        GainMatrix {
+            n: self.n,
+            inner: RwLock::new(Inner {
+                g: inner.g.clone(),
+                positions: inner.positions.clone(),
+            }),
+            model: self.model.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for GainMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GainMatrix")
+            .field("n", &self.n)
+            .field("mobile", &self.model.is_some())
+            .finish()
+    }
+}
+
+fn compute_table(positions: &[Point], model: &dyn Propagation) -> Vec<f64> {
+    let n = positions.len();
+    let mut g = vec![0.0; n * n];
+    if model.is_symmetric() {
+        // One propagation evaluation per unordered pair.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = model.power_gain(positions[j], positions[i]).value();
+                g[i * n + j] = v;
+                g[j * n + i] = v;
+            }
+        }
+    } else {
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g[i * n + j] = model.power_gain(positions[j], positions[i]).value();
+                }
+            }
+        }
+    }
+    g
 }
 
 impl GainMatrix {
     /// Build from station positions and a propagation model.
     /// Self-paths `g(i, i)` are stored as zero: a station's own transmitter
     /// is handled specially (Type 3 collisions, §5).
+    ///
+    /// The model is not retained, so the matrix is static:
+    /// [`relocate`](Self::relocate) panics. Mobility runs use
+    /// [`build_shared`](Self::build_shared).
     pub fn build<P: Propagation>(positions: &[Point], model: &P) -> GainMatrix {
-        let n = positions.len();
-        let mut g = vec![0.0; n * n];
-        if model.is_symmetric() {
-            // One propagation evaluation per unordered pair.
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let v = model.power_gain(positions[j], positions[i]).value();
-                    g[i * n + j] = v;
-                    g[j * n + i] = v;
-                }
-            }
-        } else {
-            for i in 0..n {
-                for j in 0..n {
-                    if i != j {
-                        g[i * n + j] = model.power_gain(positions[j], positions[i]).value();
-                    }
-                }
-            }
-        }
         GainMatrix {
-            n,
-            g,
-            positions: positions.to_vec(),
+            n: positions.len(),
+            inner: RwLock::new(Inner {
+                g: compute_table(positions, model),
+                positions: positions.to_vec(),
+            }),
+            model: None,
+        }
+    }
+
+    /// Like [`build`](Self::build), but retains the propagation model so
+    /// [`relocate`](Self::relocate) can recompute a moved station's gains.
+    pub fn build_shared(
+        positions: &[Point],
+        model: Arc<dyn Propagation + Send + Sync>,
+    ) -> GainMatrix {
+        GainMatrix {
+            n: positions.len(),
+            inner: RwLock::new(Inner {
+                g: compute_table(positions, &*model),
+                positions: positions.to_vec(),
+            }),
+            model: Some(model),
         }
     }
 
@@ -63,8 +127,11 @@ impl GainMatrix {
         assert_eq!(g.len(), n * n, "gain table size mismatch");
         GainMatrix {
             n,
-            g,
-            positions: vec![Point::ORIGIN; n],
+            inner: RwLock::new(Inner {
+                g,
+                positions: vec![Point::ORIGIN; n],
+            }),
+            model: None,
         }
     }
 
@@ -81,35 +148,55 @@ impl GainMatrix {
     /// Power gain from transmitter `tx` to receiver `rx`.
     #[inline]
     pub fn gain(&self, rx: StationId, tx: StationId) -> Gain {
-        Gain(self.g[rx * self.n + tx])
+        Gain(self.inner.read().unwrap().g[rx * self.n + tx])
     }
 
-    /// Station positions (as built).
-    pub fn positions(&self) -> &[Point] {
-        &self.positions
-    }
-
-    /// Position of one station.
+    /// Position of one station (current, i.e. post-move).
     pub fn position(&self, id: StationId) -> Point {
-        self.positions[id]
+        self.inner.read().unwrap().positions[id]
+    }
+
+    /// Move station `id` to `to` and recompute its row (gains *into* it)
+    /// and column (gains *from* it) with the retained propagation model.
+    /// Entries match what a fresh [`build`](Self::build) over the moved
+    /// positions would produce, bit for bit.
+    ///
+    /// Panics when the matrix was built without a shared model
+    /// ([`build`](Self::build) / [`from_raw`](Self::from_raw)).
+    pub fn relocate(&self, id: StationId, to: Point) {
+        let model = self
+            .model
+            .as_ref()
+            .expect("GainMatrix::relocate needs a matrix built with build_shared");
+        let mut inner = self.inner.write().unwrap();
+        let n = self.n;
+        inner.positions[id] = to;
+        let Inner { g, positions } = &mut *inner;
+        for j in 0..n {
+            if j == id {
+                continue;
+            }
+            // Receiver-first indexing, power_gain(tx, rx) — exactly the
+            // orientation `compute_table` uses for both build paths.
+            g[id * n + j] = model.power_gain(positions[j], positions[id]).value();
+            g[j * n + id] = model.power_gain(positions[id], positions[j]).value();
+        }
     }
 
     /// All stations whose path gain *to* `rx` is at least `threshold` —
     /// the stations `rx` can plausibly hear directly.
     pub fn hearable_by(&self, rx: StationId, threshold: Gain) -> Vec<StationId> {
+        let inner = self.inner.read().unwrap();
         (0..self.n)
-            .filter(|&tx| tx != rx && self.gain(rx, tx) >= threshold)
+            .filter(|&tx| tx != rx && Gain(inner.g[rx * self.n + tx]) >= threshold)
             .collect()
     }
 
     /// The strongest `k` paths into `rx`, best first.
     pub fn strongest_neighbors(&self, rx: StationId, k: usize) -> Vec<StationId> {
+        let inner = self.inner.read().unwrap();
         let mut ids: Vec<StationId> = (0..self.n).filter(|&j| j != rx).collect();
-        ids.sort_by(|&a, &b| {
-            self.gain(rx, b)
-                .value()
-                .total_cmp(&self.gain(rx, a).value())
-        });
+        ids.sort_by(|&a, &b| inner.g[rx * self.n + b].total_cmp(&inner.g[rx * self.n + a]));
         ids.truncate(k);
         ids
     }
@@ -117,9 +204,10 @@ impl GainMatrix {
     /// Sum of gains into `rx` from every other station — the receiver's
     /// exposure if everyone transmitted at unit power simultaneously.
     pub fn total_exposure(&self, rx: StationId) -> f64 {
+        let inner = self.inner.read().unwrap();
         (0..self.n)
             .filter(|&j| j != rx)
-            .map(|j| self.gain(rx, j).value())
+            .map(|j| inner.g[rx * self.n + j])
             .sum()
     }
 }
@@ -244,6 +332,35 @@ mod tests {
         let m = GainMatrix::build(&pts, &EastWind);
         assert!((m.gain(1, 0).value() - 0.1).abs() < 1e-15);
         assert!((m.gain(0, 1).value() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relocate_matches_fresh_build_bit_for_bit() {
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(30.0, 0.0),
+            Point::new(-5.0, 12.0),
+        ];
+        let m = GainMatrix::build_shared(&pts, Arc::new(FreeSpace::unit()));
+        pts[1] = Point::new(4.0, -9.0);
+        m.relocate(1, pts[1]);
+        pts[3] = Point::new(25.0, 25.0);
+        m.relocate(3, pts[3]);
+        let fresh = GainMatrix::build(&pts, &FreeSpace::unit());
+        for (i, &p) in pts.iter().enumerate() {
+            for j in 0..4 {
+                assert_eq!(m.gain(i, j), fresh.gain(i, j), "({}, {})", i, j);
+            }
+            assert_eq!(m.position(i), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "build_shared")]
+    fn relocate_requires_a_shared_model() {
+        let m = GainMatrix::build(&line_positions(), &FreeSpace::unit());
+        m.relocate(0, Point::new(1.0, 1.0));
     }
 
     #[test]

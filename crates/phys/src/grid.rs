@@ -48,6 +48,46 @@ impl GridIndex {
         GridIndex::with_cell_size(positions, cell)
     }
 
+    /// Build with an explicit geometry: origin `min`, cell side `cell`,
+    /// and `nx × ny` cells. Stations outside the covered rectangle bucket
+    /// into the border cells (see [`cell_index`](Self::cell_index)).
+    /// Incremental-maintenance tests use this to reproduce a mutated
+    /// index's exact geometry from scratch.
+    pub fn with_geometry(
+        positions: &[Point],
+        min: Point,
+        cell: f64,
+        nx: usize,
+        ny: usize,
+    ) -> GridIndex {
+        assert!(cell.is_finite() && cell > 0.0, "cell side must be positive");
+        assert!(nx >= 1 && ny >= 1, "need at least one cell per axis");
+        let mut idx = GridIndex {
+            min_x: min.x,
+            min_y: min.y,
+            cell,
+            nx,
+            ny,
+            cells: vec![Vec::new(); nx * ny],
+        };
+        for (id, &p) in positions.iter().enumerate() {
+            let c = idx.cell_index(p);
+            idx.cells[c].push(id);
+        }
+        idx
+    }
+
+    /// The grid's geometry as `(origin, cell side, nx, ny)` — everything
+    /// [`with_geometry`](Self::with_geometry) needs to rebuild it.
+    pub fn geometry(&self) -> (Point, f64, usize, usize) {
+        (
+            Point::new(self.min_x, self.min_y),
+            self.cell,
+            self.nx,
+            self.ny,
+        )
+    }
+
     /// Build with an explicit cell side (clamped to a sane positive value
     /// for degenerate placements such as all-coincident points).
     pub fn with_cell_size(positions: &[Point], cell: f64) -> GridIndex {
@@ -127,6 +167,111 @@ impl GridIndex {
     /// Stations in cell `idx`.
     pub fn cell_members(&self, idx: usize) -> &[StationId] {
         &self.cells[idx]
+    }
+
+    /// Insert station `id` at `p` (no-op if already present in that
+    /// cell). Points outside the covered rectangle bucket into the border
+    /// cells — candidate queries stay exact because
+    /// [`cell_index`](Self::cell_index) clamps queries the same monotone
+    /// way; callers that want the grid to actually cover the new point
+    /// call [`expand_to_include`](Self::expand_to_include) first.
+    ///
+    /// Membership within a cell stays sorted ascending (the order
+    /// [`build`](Self::build) produces), so incremental maintenance and a
+    /// fresh build yield byte-identical candidate iteration order.
+    pub fn insert(&mut self, id: StationId, p: Point) {
+        let c = self.cell_index(p);
+        let cell = &mut self.cells[c];
+        if let Err(pos) = cell.binary_search(&id) {
+            cell.insert(pos, id);
+        }
+    }
+
+    /// Remove station `id`, which was last inserted at `p`. Returns false
+    /// when the station was not in the cell `p` maps to (e.g. already
+    /// removed, or the caller passed a stale position).
+    pub fn remove(&mut self, id: StationId, p: Point) -> bool {
+        let c = self.cell_index(p);
+        let cell = &mut self.cells[c];
+        match cell.binary_search(&id) {
+            Ok(pos) => {
+                cell.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Move station `id` from `from` to `to`, re-bucketing it if the two
+    /// positions map to different cells. Returns true when the station
+    /// actually changed cells (the caller's re-bucketing counter).
+    pub fn relocate(&mut self, id: StationId, from: Point, to: Point) -> bool {
+        let a = self.cell_index(from);
+        let b = self.cell_index(to);
+        if a == b {
+            return false;
+        }
+        let cell = &mut self.cells[a];
+        if let Ok(pos) = cell.binary_search(&id) {
+            cell.remove(pos);
+        }
+        let cell = &mut self.cells[b];
+        if let Err(pos) = cell.binary_search(&id) {
+            cell.insert(pos, id);
+        }
+        true
+    }
+
+    /// Grow the grid (in whole-cell steps, keeping every existing cell's
+    /// geometry and membership intact) until it covers `p`. Returns true
+    /// when the extent changed. Growth respects the same dimension cap as
+    /// construction: a point so far out that covering it would exceed the
+    /// cap is left to border-cell clamping instead.
+    ///
+    /// Callers holding state keyed on cell indices (the far-field
+    /// tracker) must not expand mid-run — cell indices are renumbered.
+    pub fn expand_to_include(&mut self, p: Point) -> bool {
+        const MAX_DIM: usize = 8192;
+        let grow_lo = |min: f64, v: f64, cell: f64| -> usize {
+            if v >= min {
+                0
+            } else {
+                ((min - v) / cell).ceil().max(1.0) as usize
+            }
+        };
+        let grow_hi = |min: f64, extent: usize, v: f64, cell: f64| -> usize {
+            let max = min + extent as f64 * cell;
+            if v < max {
+                0
+            } else {
+                ((v - max) / cell).floor() as usize + 1
+            }
+        };
+        let lo_x = grow_lo(self.min_x, p.x, self.cell);
+        let hi_x = grow_hi(self.min_x, self.nx, p.x, self.cell);
+        let lo_y = grow_lo(self.min_y, p.y, self.cell);
+        let hi_y = grow_hi(self.min_y, self.ny, p.y, self.cell);
+        if lo_x + hi_x + lo_y + hi_y == 0 {
+            return false;
+        }
+        let nx = self.nx + lo_x + hi_x;
+        let ny = self.ny + lo_y + hi_y;
+        if nx > MAX_DIM || ny > MAX_DIM {
+            return false;
+        }
+        let mut cells = vec![Vec::new(); nx * ny];
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let old = std::mem::take(&mut self.cells[iy * self.nx + ix]);
+                cells[(iy + lo_y) * nx + (ix + lo_x)] = old;
+            }
+        }
+        self.min_x -= lo_x as f64 * self.cell;
+        self.min_y -= lo_y as f64 * self.cell;
+        self.nx = nx;
+        self.ny = ny;
+        self.cells = cells;
+        true
     }
 
     /// Every station inside the bounding square `[cx−r, cx+r] × [cy−r,
@@ -281,5 +426,174 @@ mod tests {
     fn empty_input() {
         let idx = GridIndex::build(&[]);
         assert!(idx.candidates_within(Point::ORIGIN, 10.0).is_empty());
+    }
+
+    /// Candidate sets (including iteration order) for a spread of probe
+    /// disks, used to compare an incrementally maintained index against a
+    /// from-scratch rebuild.
+    fn probe_candidates(idx: &GridIndex, pts: &[Point]) -> Vec<Vec<StationId>> {
+        let mut out = Vec::new();
+        for &r in &[5.0, 25.0, 80.0, 250.0, 1e9] {
+            for probe in 0..pts.len().min(25) {
+                out.push(idx.candidates_within(pts[probe * 3 % pts.len()], r));
+            }
+            out.push(idx.candidates_within(Point::ORIGIN, r));
+        }
+        out
+    }
+
+    #[test]
+    fn incremental_ops_match_fresh_build_over_mutated_positions() {
+        // Randomized insert/remove/relocate sequences: after every batch
+        // of mutations the incrementally maintained index must answer
+        // candidate queries identically (same ids, same order) to a fresh
+        // index built over the mutated positions with the same geometry.
+        for seed in 0..12u64 {
+            let mut rng = Rng::new(1000 + seed);
+            let n = 40 + rng.below(80) as usize;
+            let mut pts = Placement::UniformDisk {
+                n,
+                radius: 200.0 + rng.below(200) as f64,
+            }
+            .generate(&mut rng);
+            let mut idx = GridIndex::build(&pts);
+            let mut present: Vec<bool> = vec![true; n];
+            for _step in 0..60 {
+                let id = rng.below(n as u64) as usize;
+                match rng.below(3) {
+                    0 => {
+                        // Relocate (possibly escaping the original bbox).
+                        if present[id] {
+                            let to = Point::new(
+                                rng.range_f64(-450.0, 450.0),
+                                rng.range_f64(-450.0, 450.0),
+                            );
+                            idx.relocate(id, pts[id], to);
+                            pts[id] = to;
+                        }
+                    }
+                    1 => {
+                        if present[id] {
+                            assert!(idx.remove(id, pts[id]));
+                            present[id] = false;
+                        }
+                    }
+                    _ => {
+                        if !present[id] {
+                            let at = Point::new(
+                                rng.range_f64(-450.0, 450.0),
+                                rng.range_f64(-450.0, 450.0),
+                            );
+                            idx.insert(id, at);
+                            pts[id] = at;
+                            present[id] = true;
+                        }
+                    }
+                }
+                let live: Vec<Point> = pts.clone();
+                let (min, cell, nx, ny) = idx.geometry();
+                let mut fresh = GridIndex::with_geometry(&[], min, cell, nx, ny);
+                for (i, &p) in live.iter().enumerate() {
+                    if present[i] {
+                        fresh.insert(i, p);
+                    }
+                }
+                assert_eq!(
+                    probe_candidates(&idx, &live),
+                    probe_candidates(&fresh, &live),
+                    "divergence at seed {} after mutation of {}",
+                    seed,
+                    id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_ops_match_plain_build_when_bbox_is_pinned() {
+        // Pin the bbox corners with stations that never move; then the
+        // auto-geometry of a plain `build` over the mutated positions is
+        // identical to the original, and the incremental index must match
+        // it exactly — not just a same-geometry reference.
+        let mut rng = Rng::new(77);
+        let n = 60;
+        let mut pts = Placement::UniformDisk { n, radius: 150.0 }.generate(&mut rng);
+        pts[0] = Point::new(-200.0, -200.0);
+        pts[1] = Point::new(200.0, 200.0);
+        let mut idx = GridIndex::build(&pts);
+        for _step in 0..80 {
+            let id = 2 + rng.below((n - 2) as u64) as usize;
+            let to = Point::new(rng.range_f64(-200.0, 200.0), rng.range_f64(-200.0, 200.0));
+            idx.relocate(id, pts[id], to);
+            pts[id] = to;
+            let fresh = GridIndex::build(&pts);
+            assert_eq!(idx.geometry(), fresh.geometry());
+            assert_eq!(probe_candidates(&idx, &pts), probe_candidates(&fresh, &pts));
+        }
+    }
+
+    #[test]
+    fn relocate_within_one_cell_does_not_rebucket() {
+        let pts = vec![Point::ORIGIN, Point::new(100.0, 100.0)];
+        let mut idx = GridIndex::build(&pts);
+        let eps = idx.cell_size() * 0.25;
+        assert!(!idx.relocate(0, pts[0], Point::new(eps, eps)));
+        assert!(idx.relocate(0, Point::new(eps, eps), Point::new(100.0, 0.0)));
+    }
+
+    #[test]
+    fn bbox_escaping_moves_clamp_to_border_cells_and_stay_exact() {
+        // A station relocated far outside the built extent buckets into a
+        // border cell; candidate queries (which clamp the same way) must
+        // still return it for any disk that truly contains it.
+        let mut rng = Rng::new(5);
+        let pts_orig = Placement::UniformDisk {
+            n: 50,
+            radius: 100.0,
+        }
+        .generate(&mut rng);
+        let mut pts = pts_orig.clone();
+        let mut idx = GridIndex::build(&pts);
+        let far = Point::new(5000.0, -7000.0);
+        idx.relocate(3, pts[3], far);
+        pts[3] = far;
+        let r = far.distance(Point::ORIGIN) + 1.0;
+        let cand = idx.candidates_within(Point::ORIGIN, r);
+        assert!(cand.contains(&3), "escaped station missing from candidates");
+        for (id, p) in pts.iter().enumerate() {
+            if p.distance(Point::ORIGIN) <= 120.0 {
+                assert!(idx.candidates_within(Point::ORIGIN, 120.0).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn expand_to_include_preserves_membership_and_covers_new_point() {
+        let mut rng = Rng::new(9);
+        let pts = Placement::UniformDisk {
+            n: 80,
+            radius: 100.0,
+        }
+        .generate(&mut rng);
+        let mut idx = GridIndex::build(&pts);
+        let before = probe_candidates(&idx, &pts);
+        let p = Point::new(350.0, -275.0);
+        assert!(idx.expand_to_include(p));
+        assert!(
+            !idx.expand_to_include(p),
+            "second expansion must be a no-op"
+        );
+        // Existing stations keep their cells' relative geometry: queries
+        // answer identically.
+        assert_eq!(before, probe_candidates(&idx, &pts));
+        // The new point now lands in an interior (unclamped) cell.
+        let (min, cell, nx, ny) = idx.geometry();
+        assert!(p.x >= min.x && p.x < min.x + nx as f64 * cell);
+        assert!(p.y >= min.y && p.y < min.y + ny as f64 * cell);
+        // And membership round-trips through it.
+        let mut idx2 = idx.clone();
+        idx2.insert(80, p);
+        assert!(idx2.candidates_within(p, 1.0).contains(&80));
+        assert!(idx2.remove(80, p));
     }
 }

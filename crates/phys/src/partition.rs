@@ -149,8 +149,11 @@ impl GainModel for PartitionOverlay {
         self.inner.position(id)
     }
 
-    fn positions(&self) -> &[Point] {
-        self.inner.positions()
+    fn relocate(&self, id: StationId, to: Point) {
+        // Cuts are pure geometry over current positions, so a move needs
+        // no overlay bookkeeping — attenuation re-derives from the new
+        // endpoints on the next query.
+        self.inner.relocate(id, to)
     }
 
     fn hearable_by(&self, rx: StationId, threshold: Gain) -> Vec<StationId> {

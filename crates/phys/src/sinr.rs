@@ -202,6 +202,22 @@ struct ActiveRx {
     snap: Option<FarSnapshot>,
 }
 
+/// One station mid-move: bookkeeping stashed by [`SinrTracker::begin_moves`]
+/// (under the old gain field) for [`SinrTracker::finish_moves`] to restore
+/// under the new one. Far mode detaches the mover's active transmissions
+/// and pulls its receiver entry out of the sweep working set; exact mode
+/// needs no per-station stash (finish recomputes every reception).
+#[derive(Clone, Debug)]
+struct PendingMove {
+    station: StationId,
+    /// The mover's active transmission ids, detached from the far
+    /// aggregates at the old position and re-attached at the new one.
+    txs: Vec<u64>,
+    /// In-flight reception ids at this receiver, whose `ActiveRx` entry
+    /// was removed at the old cell and re-inserted at the new one.
+    rids: Vec<u64>,
+}
+
 /// Cached far tail for one receiver.
 ///
 /// `value` is maintained incrementally: every sweep the receiver is live
@@ -270,6 +286,8 @@ pub struct SinrTracker {
     threads: usize,
     /// Persistent shard workers (`threads − 1` of them); `None` inline.
     pool: Option<Arc<WorkerPool>>,
+    /// Movers between [`Self::begin_moves`] and [`Self::finish_moves`].
+    pending_moves: Vec<PendingMove>,
 }
 
 /// Immutable description of one sweep (a TX start or end) handed to the
@@ -341,6 +359,7 @@ impl SinrTracker {
             far: None,
             threads: 1,
             pool: None,
+            pending_moves: Vec::new(),
         }
     }
 
@@ -406,6 +425,10 @@ impl SinrTracker {
             .gains
             .as_grid()
             .expect("far-field aggregation requires the grid gain backend");
+        // Far aggregates are keyed on cell indices, so station moves must
+        // never renumber them: pin the grid's geometry (bbox-escaping
+        // movers clamp to border cells, which stays exact).
+        grid_model.set_fixed_geometry(true);
         let g_near = grid_model
             .propagation()
             .gain_at_distance(near_radius)
@@ -710,6 +733,7 @@ impl SinrTracker {
     /// far tail's per-cell power aggregates are power-only and stay
     /// valid; only gain-derived values need recomputing.)
     pub fn gains_changed(&mut self) {
+        parn_sim::counter_inc!("phys.sinr.full_invalidations");
         if let Some(far) = self.far.as_mut() {
             far.cache.clear();
             for a in far.active_rx.iter_mut() {
@@ -717,6 +741,159 @@ impl SinrTracker {
             }
         }
         let rids: Vec<u64> = self.receptions.keys().copied().collect();
+        for rid in rids {
+            let (rx, src_tx, src_station) = {
+                let r = &self.receptions[&rid];
+                (r.rx, r.src_tx, r.src_station)
+            };
+            let src_power = self.active_tx[&src_tx.0].power;
+            let signal = self.received_power(rx, src_station, src_power);
+            let interference = if self.far.is_some() {
+                self.near_interference_at(rx, Some(src_tx))
+            } else {
+                self.interference_at(rx, Some(src_tx))
+            };
+            {
+                let r = self.receptions.get_mut(&rid).expect("unknown reception");
+                r.signal = signal;
+                r.interference = interference;
+            }
+            self.reevaluate(rid);
+        }
+    }
+
+    /// First half of a station-move transaction. Call with the movers
+    /// (ascending station id) **before** relocating them in the gain
+    /// model, so all teardown runs under the old gain field — exactly
+    /// matching what was added when their transmissions started. Complete
+    /// the move with [`Self::finish_moves`] after relocating; no other
+    /// tracker call may land in between.
+    ///
+    /// In far mode this detaches each mover's active transmissions from
+    /// the cell aggregates (end-style sweeps at the old position), pulls
+    /// the mover's entry out of the sweep working set at its old cell, and
+    /// drops its far snapshots — invalidation scoped to the movers, not a
+    /// `gains_changed`-style global drop. Exact mode keeps no
+    /// position-derived caches, so it only records the movers.
+    pub fn begin_moves(&mut self, movers: &[StationId]) {
+        debug_assert!(self.pending_moves.is_empty(), "nested begin_moves");
+        debug_assert!(movers.windows(2).all(|w| w[0] < w[1]), "movers unsorted");
+        parn_sim::counter_inc!("phys.sinr.scoped_invalidations", movers.len() as u64);
+        if self.far.is_none() {
+            self.pending_moves = movers
+                .iter()
+                .map(|&station| PendingMove {
+                    station,
+                    txs: Vec::new(),
+                    rids: Vec::new(),
+                })
+                .collect();
+            return;
+        }
+        // Detach every mover's active transmissions under the old field.
+        let mut pending: Vec<PendingMove> = Vec::with_capacity(movers.len());
+        for &station in movers {
+            let txs = self
+                .far
+                .as_ref()
+                .expect("far mode")
+                .tx_of_station
+                .get(&station)
+                .cloned()
+                .unwrap_or_default();
+            for &id in &txs {
+                let power = self.active_tx[&id].power;
+                self.far_detach_tx(id, station, power);
+            }
+            pending.push(PendingMove {
+                station,
+                txs,
+                rids: Vec::new(),
+            });
+        }
+        // Pull movers out of the sweep working set (keyed by old cell) and
+        // drop their snapshots — both are position-derived.
+        for pm in pending.iter_mut() {
+            let far = self.far.as_ref().expect("far mode");
+            if let Some(i) = self.active_rx_idx(far, pm.station) {
+                let entry = self.far.as_mut().expect("far mode").active_rx.remove(i);
+                pm.rids = entry.rids;
+            }
+            self.far
+                .as_mut()
+                .expect("far mode")
+                .cache
+                .remove(&pm.station);
+        }
+        self.pending_moves = pending;
+    }
+
+    /// Second half of a station-move transaction: call **after** the gain
+    /// model has relocated every mover passed to [`Self::begin_moves`].
+    ///
+    /// Far mode re-attaches the movers' transmissions at their new
+    /// positions (start-style sweeps under the new field) and re-admits
+    /// moved receivers to the working set at their new cells with their
+    /// snapshots dropped; then every reception at a mover or sourced from
+    /// one gets its signal and near interference recomputed and is
+    /// re-evaluated. Exact mode recomputes every active reception from the
+    /// active set — the same backend-agnostic queries on dense and grid,
+    /// so small-n runs stay bit-identical across backends.
+    pub fn finish_moves(&mut self) {
+        let pending = std::mem::take(&mut self.pending_moves);
+        if pending.is_empty() {
+            return;
+        }
+        let rids: Vec<u64> = if self.far.is_some() {
+            for pm in &pending {
+                for &id in &pm.txs {
+                    let power = self.active_tx[&id].power;
+                    self.far_attach_tx(id, pm.station, power);
+                }
+            }
+            for pm in &pending {
+                if pm.rids.is_empty() {
+                    continue;
+                }
+                let pos = self.position(pm.station);
+                let cell = self
+                    .gains
+                    .as_grid()
+                    .expect("far-field requires grid backend")
+                    .grid()
+                    .cell_index(pos);
+                let far = self.far.as_mut().expect("far mode");
+                let i = far
+                    .active_rx
+                    .binary_search_by_key(&(cell, pm.station), |a| (a.cell, a.rx))
+                    .expect_err("mover already re-admitted");
+                far.active_rx.insert(
+                    i,
+                    ActiveRx {
+                        cell,
+                        rx: pm.station,
+                        pos,
+                        rids: pm.rids.clone(),
+                        snap: None,
+                    },
+                );
+            }
+            // Unmoved receivers' running sums were updated exactly by the
+            // detach/attach sweeps; only receptions *at* a mover or
+            // *sourced from* one still hold stale gain-derived state.
+            let moved: std::collections::BTreeSet<StationId> =
+                pending.iter().map(|pm| pm.station).collect();
+            self.receptions
+                .iter()
+                .filter(|(_, r)| moved.contains(&r.rx) || moved.contains(&r.src_station))
+                .map(|(&rid, _)| rid)
+                .collect()
+        } else {
+            // Exact mode tracks every transmitter's contribution in each
+            // reception's running sum, and any of those terms may have
+            // changed: rebuild them all from the active set.
+            self.receptions.keys().copied().collect()
+        };
         for rid in rids {
             let (rx, src_tx, src_station) = {
                 let r = &self.receptions[&rid];
@@ -808,41 +985,7 @@ impl SinrTracker {
             },
         );
         if self.far.is_some() {
-            let txp = self.position(station);
-            let grid = self
-                .gains
-                .as_grid()
-                .expect("far-field requires grid backend")
-                .grid();
-            let cell = grid.cell_index(txp);
-            let tx_cell_center = grid.cell_center(cell);
-            let far = self.far.as_mut().expect("far mode");
-            let drift_before = far.total_drift;
-            let agg = far.cell_power.entry(cell).or_default();
-            let cell_pos = agg.txs.len();
-            agg.power += power.value();
-            agg.txs.push(id);
-            far.total_drift += power.value();
-            let per_station = far.tx_of_station.entry(station).or_default();
-            let station_pos = per_station.len();
-            per_station.push(id);
-            far.tx_slot.insert(
-                id,
-                TxSlot {
-                    cell,
-                    cell_pos,
-                    station_pos,
-                },
-            );
-            self.far_sweep(SweepParams {
-                is_start: true,
-                tx_id: id,
-                tx_station: station,
-                txp,
-                tx_cell_center,
-                power: power.value(),
-                drift_before,
-            });
+            self.far_attach_tx(id, station, power);
             return TxId(id);
         }
         let deltas: Vec<(u64, PowerW)> = self
@@ -860,6 +1003,116 @@ impl SinrTracker {
         TxId(id)
     }
 
+    /// Remove transmission `id` from the far aggregates and run the
+    /// end-style sweep, using the transmitter's *current* position. Shared
+    /// by [`Self::end_transmission`] (which removes the tx from
+    /// `active_tx` first) and [`Self::begin_moves`] (which keeps it active
+    /// for re-attachment at the new position).
+    fn far_detach_tx(&mut self, id: u64, station: StationId, power: PowerW) {
+        let txp = self.position(station);
+        let tx_cell_center = {
+            let grid = self
+                .gains
+                .as_grid()
+                .expect("far-field requires grid backend")
+                .grid();
+            grid.cell_center(grid.cell_index(txp))
+        };
+        let far = self.far.as_mut().expect("far mode");
+        let drift_before = far.total_drift;
+        // O(1) teardown: swap-remove at the recorded positions and fix
+        // up the slot of whichever transmission got moved into the gap
+        // (no O(active) retain scans in dense cells).
+        let slot = far.tx_slot.remove(&id).expect("tx slot vanished");
+        let agg = far
+            .cell_power
+            .get_mut(&slot.cell)
+            .expect("far cell entry vanished");
+        debug_assert_eq!(agg.txs[slot.cell_pos], id);
+        agg.power -= power.value();
+        let moved = *agg.txs.last().expect("cell tx list empty");
+        agg.txs.swap_remove(slot.cell_pos);
+        if moved != id {
+            far.tx_slot
+                .get_mut(&moved)
+                .expect("moved tx slot vanished")
+                .cell_pos = slot.cell_pos;
+        }
+        if agg.txs.is_empty() {
+            far.cell_power.remove(&slot.cell);
+        }
+        far.total_drift += power.value();
+        let per_station = far
+            .tx_of_station
+            .get_mut(&station)
+            .expect("tx station entry vanished");
+        debug_assert_eq!(per_station[slot.station_pos], id);
+        let moved = *per_station.last().expect("station tx list empty");
+        per_station.swap_remove(slot.station_pos);
+        if moved != id {
+            far.tx_slot
+                .get_mut(&moved)
+                .expect("moved tx slot vanished")
+                .station_pos = slot.station_pos;
+        }
+        if per_station.is_empty() {
+            far.tx_of_station.remove(&station);
+        }
+        self.far_sweep(SweepParams {
+            is_start: false,
+            tx_id: id,
+            tx_station: station,
+            txp,
+            tx_cell_center,
+            power: power.value(),
+            drift_before,
+        });
+    }
+
+    /// Insert transmission `id` into the far aggregates at the
+    /// transmitter's *current* position and run the start-style sweep —
+    /// the aggregate half of [`Self::start_tx_inner`]'s far branch, reused
+    /// by [`Self::finish_moves`] to re-attach a mover's transmissions.
+    fn far_attach_tx(&mut self, id: u64, station: StationId, power: PowerW) {
+        let txp = self.position(station);
+        let (cell, tx_cell_center) = {
+            let grid = self
+                .gains
+                .as_grid()
+                .expect("far-field requires grid backend")
+                .grid();
+            let cell = grid.cell_index(txp);
+            (cell, grid.cell_center(cell))
+        };
+        let far = self.far.as_mut().expect("far mode");
+        let drift_before = far.total_drift;
+        let agg = far.cell_power.entry(cell).or_default();
+        let cell_pos = agg.txs.len();
+        agg.power += power.value();
+        agg.txs.push(id);
+        far.total_drift += power.value();
+        let per_station = far.tx_of_station.entry(station).or_default();
+        let station_pos = per_station.len();
+        per_station.push(id);
+        far.tx_slot.insert(
+            id,
+            TxSlot {
+                cell,
+                cell_pos,
+                station_pos,
+            },
+        );
+        self.far_sweep(SweepParams {
+            is_start: true,
+            tx_id: id,
+            tx_station: station,
+            txp,
+            tx_cell_center,
+            power: power.value(),
+            drift_before,
+        });
+    }
+
     /// End a transmission. Interference drops for everyone else.
     pub fn end_transmission(&mut self, id: TxId) {
         let tx = self
@@ -867,62 +1120,7 @@ impl SinrTracker {
             .remove(&id.0)
             .expect("ending unknown transmission");
         if self.far.is_some() {
-            let txp = self.position(tx.station);
-            let grid = self
-                .gains
-                .as_grid()
-                .expect("far-field requires grid backend")
-                .grid();
-            let tx_cell_center = grid.cell_center(grid.cell_index(txp));
-            let far = self.far.as_mut().expect("far mode");
-            let drift_before = far.total_drift;
-            // O(1) teardown: swap-remove at the recorded positions and fix
-            // up the slot of whichever transmission got moved into the gap
-            // (no O(active) retain scans in dense cells).
-            let slot = far.tx_slot.remove(&id.0).expect("tx slot vanished");
-            let agg = far
-                .cell_power
-                .get_mut(&slot.cell)
-                .expect("far cell entry vanished");
-            debug_assert_eq!(agg.txs[slot.cell_pos], id.0);
-            agg.power -= tx.power.value();
-            let moved = *agg.txs.last().expect("cell tx list empty");
-            agg.txs.swap_remove(slot.cell_pos);
-            if moved != id.0 {
-                far.tx_slot
-                    .get_mut(&moved)
-                    .expect("moved tx slot vanished")
-                    .cell_pos = slot.cell_pos;
-            }
-            if agg.txs.is_empty() {
-                far.cell_power.remove(&slot.cell);
-            }
-            far.total_drift += tx.power.value();
-            let per_station = far
-                .tx_of_station
-                .get_mut(&tx.station)
-                .expect("tx station entry vanished");
-            debug_assert_eq!(per_station[slot.station_pos], id.0);
-            let moved = *per_station.last().expect("station tx list empty");
-            per_station.swap_remove(slot.station_pos);
-            if moved != id.0 {
-                far.tx_slot
-                    .get_mut(&moved)
-                    .expect("moved tx slot vanished")
-                    .station_pos = slot.station_pos;
-            }
-            if per_station.is_empty() {
-                far.tx_of_station.remove(&tx.station);
-            }
-            self.far_sweep(SweepParams {
-                is_start: false,
-                tx_id: id.0,
-                tx_station: tx.station,
-                txp,
-                tx_cell_center,
-                power: tx.power.value(),
-                drift_before,
-            });
+            self.far_detach_tx(id.0, tx.station, tx.power);
             return;
         }
         let deltas: Vec<(u64, PowerW)> = self
@@ -1325,6 +1523,12 @@ impl SinrTracker {
                 };
                 for &rid in rid_list {
                     let r = &self.receptions[&rid];
+                    if r.src_tx.0 == p.tx_id {
+                        // Its own signal, never its interference. Fresh
+                        // ids can't be a source, but a move re-attaching
+                        // an existing transmission can sweep past it.
+                        continue;
+                    }
                     let new_i = r.interference.value() + near_delta;
                     let eval = self.eval_reception(r, new_i, snap_new.value);
                     rids.push(RidUpdate {
@@ -1731,6 +1935,50 @@ mod tests {
         assert!(rep.success);
     }
 
+    #[test]
+    fn moves_recompute_exactly_in_exact_mode() {
+        // A move transaction in exact mode must leave the tracker in the
+        // same state (bit for bit) as a fresh tracker built over the moved
+        // positions with the same active set.
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(30.0, 0.0),
+            Point::new(-15.0, 20.0),
+        ];
+        let gm = Arc::new(GainMatrix::build_shared(&pts, Arc::new(FreeSpace::unit())));
+        let mut t = SinrTracker::new(Arc::clone(&gm) as _, PowerW(1e-9), 1e12);
+        let tx0 = t.start_transmission(0, PowerW(1.0), Some(1));
+        let rx0 = t.begin_reception(1, tx0, 0.01);
+        let _tx2 = t.start_transmission(2, PowerW(0.5), None);
+
+        let movers = [1usize, 2];
+        t.begin_moves(&movers);
+        pts[1] = Point::new(12.0, 5.0);
+        pts[2] = Point::new(-20.0, 3.0);
+        for &m in &movers {
+            gm.relocate(m, pts[m]);
+        }
+        t.finish_moves();
+
+        let fresh_gm = Arc::new(GainMatrix::build(&pts, &FreeSpace::unit()));
+        let mut f = SinrTracker::new(fresh_gm as _, PowerW(1e-9), 1e12);
+        let ftx0 = f.start_transmission(0, PowerW(1.0), Some(1));
+        let frx0 = f.begin_reception(1, ftx0, 0.01);
+        let _ftx2 = f.start_transmission(2, PowerW(0.5), None);
+        for s in 0..pts.len() {
+            assert_eq!(
+                t.interference_at(s, None).value().to_bits(),
+                f.interference_at(s, None).value().to_bits(),
+                "interference diverged at {s}"
+            );
+        }
+        assert_eq!(
+            t.current_sinr(rx0).to_bits(),
+            f.current_sinr(frx0).to_bits()
+        );
+    }
+
     mod far_field {
         use super::*;
         use crate::gainmodel::{GainModel, GridGainModel};
@@ -1878,6 +2126,84 @@ mod tests {
             for threads in [2, 4] {
                 assert_eq!(single, run(threads), "diverged at threads={threads}");
             }
+        }
+
+        #[test]
+        fn far_aggregates_survive_moves_and_drain_to_floor() {
+            // Rounds of station moves while transmissions are on air: the
+            // detach/re-attach bookkeeping (slot fix-ups, per-cell totals)
+            // must stay exact, so tearing everything down afterwards
+            // returns every receiver to the thermal floor.
+            let gm = grid_model(300, 250.0, 17);
+            let thermal = PowerW(1e-12);
+            let mut t = SinrTracker::new(Arc::clone(&gm) as Arc<dyn GainModel>, thermal, 1e12)
+                .with_far_field(80.0, 0.02);
+            let mut ids = Vec::new();
+            for s in (0..300).step_by(7) {
+                ids.push(t.start_transmission(s, PowerW(1e-2), None));
+            }
+            let mut rng = Rng::new(3);
+            for round in 0..5 {
+                let movers: Vec<usize> = (0..300).filter(|s| s % 50 == round).collect();
+                t.begin_moves(&movers);
+                for &m in &movers {
+                    gm.relocate(
+                        m,
+                        Point::new(rng.range_f64(-240.0, 240.0), rng.range_f64(-240.0, 240.0)),
+                    );
+                }
+                t.finish_moves();
+            }
+            for id in ids {
+                t.end_transmission(id);
+            }
+            for rx in [0usize, 150, 299] {
+                let floor = t.interference_at(rx, None).value();
+                assert!(
+                    (floor - thermal.value()).abs() <= 1e-15,
+                    "residual {floor:e} at {rx}"
+                );
+            }
+        }
+
+        #[test]
+        fn far_mode_move_agrees_with_exact_mid_reception() {
+            // Move the source, the receiver, and an active interferer in
+            // the middle of a reception; far mode must agree with the
+            // exact tracker on the outcome and closely on min SINR.
+            let run = |far: bool| {
+                let gm = grid_model(200, 300.0, 5);
+                let mut t =
+                    SinrTracker::new(Arc::clone(&gm) as Arc<dyn GainModel>, PowerW(1e-13), 1e12);
+                if far {
+                    t = t.with_far_field(100.0, 0.05);
+                }
+                let mut noise = Vec::new();
+                for k in 0..12usize {
+                    noise.push(t.start_transmission(50 + 11 * k, PowerW(1e-3), None));
+                }
+                let tx = t.start_transmission(0, PowerW(1.0), Some(1));
+                let rx = t.begin_reception(1, tx, 1e-3);
+                let movers = [0usize, 1, 50];
+                t.begin_moves(&movers);
+                let p0 = gm.position(0);
+                gm.relocate(0, Point::new(p0.x + 8.0, p0.y - 3.0));
+                let p1 = gm.position(1);
+                gm.relocate(1, Point::new(p1.x - 5.0, p1.y + 6.0));
+                gm.relocate(50, Point::new(p1.x + 20.0, p1.y));
+                t.finish_moves();
+                let rep = t.complete_reception(rx);
+                for id in noise {
+                    t.end_transmission(id);
+                }
+                t.end_transmission(tx);
+                rep
+            };
+            let exact = run(false);
+            let approx = run(true);
+            assert_eq!(exact.success, approx.success);
+            let rel = (exact.min_sinr - approx.min_sinr).abs() / exact.min_sinr;
+            assert!(rel < 0.5, "min_sinr diverged: {rel}");
         }
 
         #[test]

@@ -273,6 +273,25 @@ impl DvState {
         self.dirty = true;
     }
 
+    /// The direct link to `peer` stays up but its cost changed — the peer
+    /// moved. Unlike [`fail_link`](Self::fail_link)/
+    /// [`restore_link`](Self::restore_link), no poisoning or hold-down
+    /// machinery runs: the link never went away, so routes via the peer
+    /// stay usable and just re-cost. Routes that used the old (cheaper)
+    /// direct cost converge to alternatives through normal advertisement
+    /// exchange.
+    pub fn update_link_cost(&mut self, peer: StationId, cost: f64) {
+        self.links.insert(peer, cost);
+        if self.next_hop[peer] == Some(peer) {
+            // The route to the peer itself was the direct hop: re-cost it
+            // in place rather than waiting for the next flood.
+            self.dist[peer] = cost;
+            self.hops[peer] = 1;
+        }
+        self.refresh_direct();
+        self.dirty = true;
+    }
+
     /// Re-assert every direct link: a link is always at least as good as
     /// its own cost, whatever third parties claim.
     fn refresh_direct(&mut self) -> bool {
@@ -682,6 +701,43 @@ mod tests {
         );
         assert!(!changed);
         assert_eq!(s.next_hop(2), None);
+    }
+
+    #[test]
+    fn update_link_cost_recosts_without_holddown() {
+        // 0 has links to 1 and 3; route to 2 goes via 1.
+        let mut s = DvState::new(
+            0,
+            4,
+            [(1usize, 1.0f64), (3usize, 1.0f64)].into_iter().collect(),
+        );
+        let hold = Duration::from_secs(10);
+        s.integrate(
+            1,
+            &[(1.0, 1), (0.0, 0), (1.0, 1), (f64::INFINITY, u32::MAX)],
+            Time::ZERO,
+            hold,
+        );
+        assert_eq!(s.next_hop(2), Some(1));
+        // Peer 1 drifts away: the direct hop re-costs in place, no
+        // hold-down starts, and the transit route via 1 stays usable.
+        s.update_link_cost(1, 2.5);
+        assert_eq!(s.next_hop(1), Some(1));
+        assert!((s.cost(1) - 2.5).abs() < 1e-12);
+        assert_eq!(s.next_hop(2), Some(1));
+        // A third-party claim for 2 is NOT suppressed (no hold-down ran):
+        // peer 3 now underbids and wins immediately.
+        let changed = s.integrate(
+            3,
+            &[(1.0, 1), (f64::INFINITY, u32::MAX), (0.5, 1), (0.0, 0)],
+            Time::ZERO,
+            hold,
+        );
+        assert!(changed);
+        assert_eq!(s.next_hop(2), Some(3));
+        // Drifting closer again re-cheapens the direct hop.
+        s.update_link_cost(1, 0.25);
+        assert!((s.cost(1) - 0.25).abs() < 1e-12);
     }
 
     #[test]

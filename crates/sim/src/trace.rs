@@ -132,6 +132,22 @@ pub enum TraceEvent {
         /// The receiver whose reception is being jammed.
         target: usize,
     },
+    /// A motion epoch relocated a station (dynamic topology).
+    StationMoved {
+        /// The moved station.
+        station: usize,
+    },
+    /// A departed station was re-admitted by the churn plan (at a new
+    /// position, or back at its old one after a timed outage).
+    StationJoined {
+        /// The joining station.
+        station: usize,
+    },
+    /// A station cleanly left the network per the churn plan.
+    StationLeft {
+        /// The departing station.
+        station: usize,
+    },
     /// Free-form annotation under a caller-chosen category.
     Note {
         /// Category tag (e.g. `"route"`).
@@ -143,7 +159,8 @@ pub enum TraceEvent {
 
 impl TraceEvent {
     /// Stable category tag for filtering (`"mac"`, `"phy"`, `"fail"`,
-    /// `"fault"`, `"heal"`, `"route"`, or the note's own category).
+    /// `"fault"`, `"heal"`, `"route"`, `"topo"`, or the note's own
+    /// category).
     pub fn category(&self) -> &'static str {
         match self {
             TraceEvent::MacPlanned { .. } => "mac",
@@ -157,6 +174,9 @@ impl TraceEvent {
             TraceEvent::PartitionHealed { .. }
             | TraceEvent::ViolationDetected { .. }
             | TraceEvent::ReactiveJamBurst { .. } => "fault",
+            TraceEvent::StationMoved { .. }
+            | TraceEvent::StationJoined { .. }
+            | TraceEvent::StationLeft { .. } => "topo",
             TraceEvent::Note { category, .. } => category,
         }
     }
@@ -221,6 +241,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ReactiveJamBurst { station, target } => {
                 write!(f, "reactive jammer at {station} burst against rx {target}")
             }
+            TraceEvent::StationMoved { station } => write!(f, "station {station} moved"),
+            TraceEvent::StationJoined { station } => write!(f, "station {station} joined"),
+            TraceEvent::StationLeft { station } => write!(f, "station {station} left"),
             TraceEvent::Note { message, .. } => f.write_str(message),
         }
     }

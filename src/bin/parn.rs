@@ -9,15 +9,16 @@
 //!          [--partition T:REGION:SECS]... [--byzantine ID:MODE]...
 //!          [--reactive-jam BUDGET:DUTY[:ID]]...
 //!          [--route centralized|distributed|one-hop|greedy]
-//!          [--heal oracle|local] [--verbose]
+//!          [--heal oracle|local] [--mobility MODEL:SPEED] [--churn RATE]
+//!          [--verbose]
 //! parn capacity [--stations M] [--bandwidth-mhz W] [--eta E]
 //! parn sweep-p [--stations N] [--rate R]
 //! parn help
 //! ```
 
 use parn::core::{
-    ByzMode, CutAxis, DestPolicy, FaultPlan, HealConfig, LossCause, NetConfig, Network, RouteMode,
-    SourceModel, SyncMode,
+    ByzMode, CutAxis, DestPolicy, FaultPlan, HealConfig, LossCause, MobilityConfig, MobilityModel,
+    NetConfig, Network, RouteMode, SourceModel, SyncMode,
 };
 use parn::phys::linkbudget::SystemDesign;
 use parn::phys::PowerW;
@@ -273,6 +274,30 @@ fn cmd_run(args: &Args) -> ExitCode {
             "--heal: expected 'oracle' or 'local', got '{other}'"
         )),
     }
+    if let Some(spec) = args.get("mobility") {
+        let Some((model, speed)) = spec.split_once(':') else {
+            die("--mobility expects MODEL:SPEED_MPS (MODEL = waypoint|walk)");
+        };
+        let speed: f64 = speed
+            .parse()
+            .unwrap_or_else(|_| die("--mobility: bad speed"));
+        let model = match model {
+            "waypoint" => MobilityModel::RandomWaypoint { speed },
+            "walk" => MobilityModel::RandomWalk { speed },
+            other => die(&format!(
+                "--mobility: model must be 'waypoint' or 'walk', got '{other}'"
+            )),
+        };
+        let mut mc = MobilityConfig::paper_default();
+        mc.model = model;
+        cfg.mobility = Some(mc);
+    }
+    let churn_rate: f64 = args.num("churn", 0.0);
+    if churn_rate > 0.0 {
+        let count = (churn_rate * cfg.run_for.as_secs_f64()).round() as usize;
+        let radius = cfg.placement.region().radius;
+        cfg.churn = parn::core::ChurnPlan::generate(seed, n, count.max(1), cfg.run_for, radius);
+    }
 
     let net = if args.has("verbose") {
         Network::new(cfg).with_tracer(parn::sim::trace::Tracer::new(
@@ -311,11 +336,18 @@ fn cmd_run(args: &Args) -> ExitCode {
     println!("drop ledger:");
     for (label, c) in [
         ("  station failed    ", LossCause::StationFailed),
+        ("  departed (churn)  ", LossCause::Departed),
         ("  retries exhausted ", LossCause::RetriesExhausted),
         ("  unroutable        ", LossCause::Unroutable),
         ("  routing loop      ", LossCause::RoutingLoop),
     ] {
         println!("{label} {}", m.drops.get(&c).copied().unwrap_or(0));
+    }
+    if m.motion_epochs > 0 || m.leaves > 0 || m.joins > 0 {
+        println!("dynamic topology:");
+        println!("  motion epochs      {}", m.motion_epochs);
+        println!("  station moves      {}", m.station_moves);
+        println!("  leaves / joins     {} / {}", m.leaves, m.joins);
     }
     if m.partitions_healed > 0 || m.reactive_jams > 0 || m.violations_detected > 0 {
         println!("adversary:");
@@ -456,6 +488,8 @@ fn usage() {
                     [--reactive-jam BUDGET_S:DUTY[:ID]]... (default: busiest relay)\n\
                     [--route centralized|distributed|one-hop|greedy]\n\
                     [--heal oracle|local] [--verbose]\n\
+                    [--mobility MODEL:SPEED_MPS] (MODEL = waypoint|walk)\n\
+                    [--churn RATE_PER_S] (generated join/leave plan)\n\
            parn capacity [--stations M] [--bandwidth-mhz W] [--eta E]\n\
            parn sweep-p [--stations N] [--rate R]\n\
            parn help"

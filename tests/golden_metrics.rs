@@ -63,3 +63,24 @@ fn one_hop_neighbor_traffic_metrics_are_pinned() {
     let m = Network::run(cfg);
     check("one_hop_neighbors.json", &m.to_json().to_string());
 }
+
+/// Static-topology runs must not leak any dynamic-topology state into
+/// the wire formats: with no mobility model and an empty churn plan,
+/// both `NetConfig::to_json` and `Metrics::to_json` stay byte-identical
+/// to the pinned fixtures (no `mobility`/`churn` keys anywhere).
+#[test]
+fn static_runs_emit_no_dynamic_topology_keys() {
+    let mut cfg = NetConfig::paper_default(25, 5);
+    cfg.run_for = Duration::from_secs(6);
+    cfg.warmup = Duration::from_secs(1);
+    cfg.traffic.arrivals_per_station_per_sec = 1.0;
+    cfg.route_mode = RouteMode::OneHop;
+    cfg.traffic.dest = DestPolicy::Neighbors;
+    let cfg_json = cfg.to_json().to_string();
+    assert!(!cfg_json.contains("\"mobility\""), "{cfg_json}");
+    assert!(!cfg_json.contains("\"churn\""), "{cfg_json}");
+    let m = Network::run(cfg);
+    let m_json = m.to_json().to_string();
+    assert!(!m_json.contains("\"mobility\""), "{m_json}");
+    assert!(!m_json.contains("motion_epochs"), "{m_json}");
+}
